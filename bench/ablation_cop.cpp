@@ -1,0 +1,116 @@
+// Ablations of COP's design decisions (beyond the paper's figures, but
+// directly probing the §4 design points DESIGN.md calls out):
+//
+//   A. pillar count   — how many pillars does a 12-core replica want?
+//      (the paper's "throughput can be increased just by adding pillars",
+//      and its limits: execution stage + checkpoints as contention points)
+//   B. checkpoint interval — the §4.2.2 shared-checkpointing rendezvous.
+//   C. maximum batch size  — the classic batching trade-off (§2.2).
+//   D. verification policy — MAC checks per request: COP's in-order
+//      verification vs. the out-of-order pool of the SMaRt baseline
+//      (§3.2), measured, not assumed.
+#include <cstdio>
+
+#include "support/paper_setup.hpp"
+
+using namespace copbft::bench;
+
+static void pillar_sweep() {
+  std::printf("## A: pillar count (12 cores, batched)\n");
+  std::printf("# pillars  kops_per_s  leader_MB_per_s\n");
+  for (std::uint32_t pillars : {1u, 2u, 4u, 8u, 12u, 16u, 24u, 32u, 48u}) {
+    SimConfig cfg = paper_config(SimArch::kCop, 12, true);
+    cfg.num_pillars = pillars;
+    cfg.protocol.num_pillars = pillars;
+    SimResult r = run_simulation(cfg);
+    std::printf("%9u %11.1f %12.1f\n", pillars, r.throughput_ops / 1000.0,
+                r.leader_tx_mbps);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+static void checkpoint_sweep() {
+  std::printf("## B: checkpoint interval (12 cores, batched)\n");
+  std::printf("# interval  kops_per_s  stable_checkpoints\n");
+  for (copbft::protocol::SeqNum interval : {100u, 500u, 1000u, 2000u, 5000u}) {
+    SimConfig cfg = paper_config(SimArch::kCop, 12, true);
+    cfg.protocol.checkpoint_interval = interval;
+    cfg.protocol.window = 4 * interval;
+    SimResult r = run_simulation(cfg);
+    std::printf("%10llu %11.1f %14llu\n",
+                static_cast<unsigned long long>(interval),
+                r.throughput_ops / 1000.0,
+                static_cast<unsigned long long>(
+                    r.leader_core.checkpoints_stable));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+static void batch_sweep() {
+  std::printf("## C: maximum batch size (12 cores)\n");
+  std::printf("# max_batch  kops_per_s  instances_per_s\n");
+  for (std::uint32_t batch : {1u, 10u, 50u, 100u, 200u, 400u, 800u}) {
+    SimConfig cfg = paper_config(SimArch::kCop, 12, true);
+    cfg.protocol.max_batch = batch;
+    SimResult r = run_simulation(cfg);
+    double seconds = static_cast<double>(cfg.measure) / 1e9;
+    std::printf("%10u %11.1f %15.0f\n", batch, r.throughput_ops / 1000.0,
+                static_cast<double>(r.instances) / seconds);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+static void drift_sweep() {
+  std::printf("## E: drift bound (watermark window), 12 cores, batched\n");
+  std::printf("# scheme    window  kops_per_s\n");
+  for (bool rotate : {false, true}) {
+    for (std::uint32_t window : {1000u, 1200u, 1600u, 2400u, 4000u}) {
+      SimConfig cfg = paper_config(SimArch::kCop, 12, true);
+      cfg.protocol.window = window;
+      if (rotate) {
+        cfg.protocol.leader_scheme = copbft::protocol::LeaderScheme::kRotating;
+        cfg.reply_mode = copbft::core::ReplyMode::kOmitOne;
+      }
+      SimResult r = run_simulation(cfg);
+      std::printf("%-9s %7u %11.1f\n", rotate ? "rotating" : "fixed", window,
+                  r.throughput_ops / 1000.0);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+}
+
+static void verification_policy() {
+  std::printf("## D: verification policy — MAC checks per request\n");
+  std::printf(
+      "# system  verified_per_req  skipped_per_req  pre_verified_per_req\n");
+  for (SimArch arch : {SimArch::kCop, SimArch::kTop, SimArch::kSmartStar}) {
+    SimConfig cfg = paper_config(arch, 12, true);
+    SimResult r = run_simulation(cfg);
+    double reqs = static_cast<double>(r.leader_core.requests_delivered);
+    if (reqs == 0) reqs = 1;
+    std::printf("%-11s %13.3f %16.3f %19.3f\n", copbft::sim::arch_name(arch),
+                static_cast<double>(r.leader_core.macs_verified +
+                                    r.leader_core.request_macs_verified) /
+                    reqs,
+                static_cast<double>(r.leader_core.verifications_skipped +
+                                    r.leader_core.request_verifications_skipped) /
+                    reqs,
+                static_cast<double>(r.leader_core.pre_verified) / reqs);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+int main() {
+  print_header("COP ablations", "");
+  pillar_sweep();
+  checkpoint_sweep();
+  batch_sweep();
+  drift_sweep();
+  verification_policy();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Calibration report: runs the simulator at the paper's anchor
+// configurations and prints measured vs. published throughput, so drift
+// in the cost model is visible at a glance. See EXPERIMENTS.md.
+#include <cstdio>
+
+#include "support/paper_setup.hpp"
+
+namespace {
+
+using namespace copbft::bench;
+
+struct Anchor {
+  const char* name;
+  SimArch arch;
+  std::uint32_t cores;
+  bool batching;
+  double paper_kops;
+};
+
+constexpr Anchor kAnchors[] = {
+    {"COP      batched   1 core ", SimArch::kCop, 1, true, 190.0},
+    {"COP      batched  12 cores", SimArch::kCop, 12, true, 1270.0},
+    {"TOP      batched   1 core ", SimArch::kTop, 1, true, 69.0},
+    {"TOP      batched  12 cores", SimArch::kTop, 12, true, 410.0},
+    {"SMaRt*   batched   1 core ", SimArch::kSmartStar, 1, true, 84.0},
+    {"SMaRt*   batched  12 cores", SimArch::kSmartStar, 12, true, 316.0},
+    {"SMaRt    batched   1 core ", SimArch::kSmart, 1, true, 34.0},
+    {"SMaRt    batched  12 cores", SimArch::kSmart, 12, true, 173.0},
+    {"COP     unbatched  1 core ", SimArch::kCop, 1, false, 49.0},
+    {"COP     unbatched 12 cores", SimArch::kCop, 12, false, 258.0},
+    {"TOP     unbatched  1 core ", SimArch::kTop, 1, false, 14.0},
+    {"TOP     unbatched 12 cores", SimArch::kTop, 12, false, 58.0},
+    {"SMaRt   unbatched 12 cores", SimArch::kSmart, 12, false, 2.5},
+};
+
+}  // namespace
+
+int main() {
+  print_header("calibration anchors",
+               "# system/config                paper_kops  sim_kops  ratio  "
+               "leader_MB/s  leader_cpu");
+  for (const Anchor& anchor : kAnchors) {
+    SimConfig cfg = paper_config(anchor.arch, anchor.cores, anchor.batching);
+    SimResult r = run_simulation(cfg);
+    double kops = r.throughput_ops / 1000.0;
+    std::printf("%s %10.1f %9.1f %6.2f %12.1f %11.2f\n", anchor.name,
+                anchor.paper_kops, kops, kops / anchor.paper_kops,
+                r.leader_tx_mbps, r.leader_cpu_utilization);
+    std::fflush(stdout);
+  }
+  return 0;
+}

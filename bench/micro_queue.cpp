@@ -1,0 +1,94 @@
+// Microbenchmarks of the inter-thread plumbing and the wire codec —
+// the hand-off costs the paper's §3.1 blames pipelined designs for.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/histogram.hpp"
+#include "common/queue.hpp"
+#include "protocol/messages.hpp"
+
+namespace {
+
+using namespace copbft;
+
+void BM_QueueSameThread(benchmark::State& state) {
+  BoundedQueue<int> queue(1024);
+  for (auto _ : state) {
+    queue.push(1);
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_QueueSameThread);
+
+void BM_QueueCrossThreadHandoff(benchmark::State& state) {
+  // Ping-pong between two threads: measures a full enqueue + wakeup +
+  // dequeue round trip (two hand-offs).
+  BoundedQueue<int> ping(64);
+  BoundedQueue<int> pong(64);
+  std::thread echo([&] {
+    while (auto v = ping.pop()) pong.push(*v);
+    pong.close();
+  });
+  for (auto _ : state) {
+    ping.push(1);
+    benchmark::DoNotOptimize(pong.pop());
+  }
+  ping.close();
+  echo.join();
+}
+BENCHMARK(BM_QueueCrossThreadHandoff);
+
+protocol::Request sample_request(std::size_t payload) {
+  protocol::Request req;
+  req.client = 1001;
+  req.id = 42;
+  req.payload = Bytes(payload, Byte{0x5a});
+  req.auth.entries.resize(4);
+  return req;
+}
+
+void BM_EncodeRequest(benchmark::State& state) {
+  protocol::Message msg{sample_request(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::encode_message(msg));
+  }
+}
+BENCHMARK(BM_EncodeRequest)->Arg(0)->Arg(128)->Arg(1024);
+
+void BM_DecodePrePrepare(benchmark::State& state) {
+  protocol::PrePrepare pp;
+  pp.view = 1;
+  pp.seq = 7;
+  for (int i = 0; i < state.range(0); ++i)
+    pp.requests.push_back(sample_request(64));
+  pp.auth.entries.resize(3);
+  Bytes encoded = protocol::encode_message(protocol::Message{pp});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::decode_message(encoded));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DecodePrePrepare)->Arg(1)->Arg(20)->Arg(200);
+
+void BM_EncodedSizeMatchesEncode(benchmark::State& state) {
+  protocol::Message msg{sample_request(256)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::encoded_size(msg));
+  }
+}
+BENCHMARK(BM_EncodedSizeMatchesEncode);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.record(v = (v * 2862933555777941757ULL + 3037000493ULL) >> 32);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

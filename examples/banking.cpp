@@ -1,0 +1,209 @@
+// Banking example: writing your own replicated service.
+//
+// Implements app::Service directly — a tiny account ledger with transfers
+// — and replicates it with COP. Demonstrates:
+//   * deterministic service implementation + incremental state digest,
+//   * the offloaded pre-validation hook (§4.3.1): malformed transfers are
+//     rejected inside the pillar, before they consume an ordering slot,
+//   * concurrent clients hammering transfers while invariants hold
+//     (the total balance never changes — money moves, it doesn't appear).
+#include <atomic>
+#include <cstdio>
+#include <unordered_map>
+
+#include "client/client.hpp"
+#include "core/cop_replica.hpp"
+#include "common/rng.hpp"
+#include "protocol/wire.hpp"
+#include "transport/inproc.hpp"
+
+using namespace copbft;
+
+namespace {
+
+// ---- the service -----------------------------------------------------
+
+enum class BankOp : std::uint8_t { kOpen = 1, kTransfer = 2, kBalance = 3 };
+
+struct BankRequest {
+  BankOp op = BankOp::kBalance;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::int64_t amount = 0;
+
+  Bytes encode() const {
+    Bytes out;
+    protocol::WireWriter w(out);
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(from);
+    w.u32(to);
+    w.u64(static_cast<std::uint64_t>(amount));
+    return out;
+  }
+
+  static std::optional<BankRequest> decode(ByteSpan payload) {
+    protocol::WireReader r(payload);
+    BankRequest req;
+    req.op = static_cast<BankOp>(r.u8());
+    req.from = r.u32();
+    req.to = r.u32();
+    req.amount = static_cast<std::int64_t>(r.u64());
+    if (!r.at_end()) return std::nullopt;
+    if (req.op != BankOp::kOpen && req.op != BankOp::kTransfer &&
+        req.op != BankOp::kBalance)
+      return std::nullopt;
+    return req;
+  }
+};
+
+class BankService final : public app::Service {
+ public:
+  explicit BankService(const crypto::CryptoProvider& crypto)
+      : crypto_(crypto) {}
+
+  // Runs in the pillar, outside the total order: cheap sanity checks.
+  bool pre_validate(const protocol::Request& request) override {
+    auto req = BankRequest::decode(request.payload);
+    return req && (req->op != BankOp::kTransfer || req->amount > 0);
+  }
+
+  Bytes execute(const protocol::Request& request) override {
+    auto req = BankRequest::decode(request.payload);
+    if (!req) return to_bytes("ERR malformed");
+    switch (req->op) {
+      case BankOp::kOpen:
+        set_balance(req->from, req->amount);
+        return to_bytes("OK");
+      case BankOp::kTransfer: {
+        auto from = accounts_.find(req->from);
+        auto to = accounts_.find(req->to);
+        if (from == accounts_.end() || to == accounts_.end())
+          return to_bytes("ERR no-account");
+        if (from->second < req->amount) return to_bytes("ERR insufficient");
+        set_balance(req->from, from->second - req->amount);
+        set_balance(req->to, accounts_.at(req->to) + req->amount);
+        return to_bytes("OK");
+      }
+      case BankOp::kBalance: {
+        auto it = accounts_.find(req->from);
+        if (it == accounts_.end()) return to_bytes("ERR no-account");
+        return to_bytes(std::to_string(it->second));
+      }
+    }
+    return to_bytes("ERR");
+  }
+
+  crypto::Digest state_digest() const override { return digest_; }
+
+  std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (const auto& [id, balance] : accounts_) sum += balance;
+    return sum;
+  }
+
+ private:
+  void set_balance(std::uint32_t account, std::int64_t balance) {
+    auto it = accounts_.find(account);
+    if (it != accounts_.end()) {
+      xor_entry(account, it->second);
+      it->second = balance;
+    } else {
+      accounts_.emplace(account, balance);
+    }
+    xor_entry(account, balance);
+  }
+
+  void xor_entry(std::uint32_t account, std::int64_t balance) {
+    Bytes buf;
+    protocol::WireWriter w(buf);
+    w.u32(account);
+    w.u64(static_cast<std::uint64_t>(balance));
+    crypto::Digest d = crypto_.digest(buf);
+    for (std::size_t i = 0; i < digest_.bytes.size(); ++i)
+      digest_.bytes[i] ^= d.bytes[i];
+  }
+
+  const crypto::CryptoProvider& crypto_;
+  std::unordered_map<std::uint32_t, std::int64_t> accounts_;
+  crypto::Digest digest_;
+};
+
+}  // namespace
+
+int main() {
+  auto crypto = crypto::make_real_crypto(99);
+  transport::InprocNetwork network;
+
+  core::ReplicaRuntimeConfig config;
+  config.num_pillars = 2;
+  config.protocol.num_pillars = 2;
+  config.protocol.checkpoint_interval = 100;
+  config.protocol.window = 400;
+
+  std::vector<std::unique_ptr<core::CopReplica>> replicas;
+  for (protocol::ReplicaId r = 0; r < 4; ++r) {
+    replicas.push_back(std::make_unique<core::CopReplica>(
+        r, config, std::make_unique<BankService>(*crypto), *crypto,
+        network.endpoint(protocol::replica_node(r))));
+    replicas.back()->start();
+  }
+
+  client::ClientConfig teller_config;
+  teller_config.id = protocol::kClientIdBase;
+  teller_config.num_pillars = config.num_pillars;
+  client::Client teller(teller_config, *crypto,
+                        network.endpoint(protocol::client_node(
+                            teller_config.id)));
+  teller.start();
+
+  // Open ten accounts with 1000 units each.
+  constexpr std::int64_t kInitial = 1000;
+  constexpr std::uint32_t kAccounts = 10;
+  for (std::uint32_t a = 0; a < kAccounts; ++a)
+    teller.invoke(BankRequest{BankOp::kOpen, a, 0, kInitial}.encode());
+
+  // Fire 200 random transfers (some will bounce on insufficient funds —
+  // that's fine, rejection is deterministic too).
+  Rng rng(123);
+  int ok = 0, bounced = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::uint32_t from = static_cast<std::uint32_t>(rng.below(kAccounts));
+    std::uint32_t to = static_cast<std::uint32_t>(rng.below(kAccounts));
+    if (to == from) to = (to + 1) % kAccounts;
+    std::int64_t amount = static_cast<std::int64_t>(1 + rng.below(500));
+    auto reply =
+        teller.invoke(BankRequest{BankOp::kTransfer, from, to, amount}.encode());
+    if (reply && to_string(*reply) == "OK")
+      ++ok;
+    else
+      ++bounced;
+  }
+  std::printf("transfers: %d ok, %d bounced\n", ok, bounced);
+
+  // A malformed transfer is rejected by pre-validation inside the pillar
+  // and never ordered; the client simply times out on it, so send a
+  // negative-amount transfer async and move on.
+  teller.invoke_async(BankRequest{BankOp::kTransfer, 1, 2, -5}.encode(), 0,
+                      [](Bytes, std::uint64_t) {});
+
+  auto balance = teller.invoke(BankRequest{BankOp::kBalance, 3, 0, 0}.encode());
+  std::printf("account 3 balance: %s\n", to_string(*balance).c_str());
+
+  teller.stop();
+  for (auto& replica : replicas) replica->stop();
+
+  // Invariant: money is conserved on every replica, and states agree.
+  for (protocol::ReplicaId r = 0; r < 4; ++r) {
+    const auto& bank =
+        dynamic_cast<const BankService&>(replicas[r]->service());
+    std::printf("replica %u: total=%lld digest=%s...\n", r,
+                static_cast<long long>(bank.total()),
+                bank.state_digest().hex().substr(0, 16).c_str());
+    if (bank.total() != static_cast<std::int64_t>(kAccounts) * kInitial) {
+      std::fprintf(stderr, "money leaked!\n");
+      return 1;
+    }
+  }
+  std::printf("conservation of money verified on all replicas.\n");
+  return 0;
+}

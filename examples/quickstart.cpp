@@ -1,0 +1,94 @@
+// Quickstart: a four-replica COP cluster replicating a key-value store,
+// all within one process.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole public API surface:
+//   1. build a cluster-wide crypto provider (pairwise MAC keys),
+//   2. wire up a transport (in-process here; TCP works the same way),
+//   3. start four CopReplica instances hosting a KvStore service,
+//   4. start a client, invoke operations, read the results back.
+#include <cstdio>
+
+#include "app/kv_store.hpp"
+#include "client/client.hpp"
+#include "core/cop_replica.hpp"
+#include "transport/inproc.hpp"
+
+using namespace copbft;
+
+int main() {
+  // 1. Cryptography: every node derives pairwise HMAC keys from a cluster
+  //    master secret (a deployment would provision these via handshakes).
+  auto crypto = crypto::make_real_crypto(/*seed=*/2024);
+
+  // 2. Transport: an in-process fabric connecting replicas and clients.
+  transport::InprocNetwork network;
+
+  // 3. Replicas: four replicas tolerate f = 1 Byzantine fault. Each runs
+  //    two pillars — two independent consensus pipelines whose instances
+  //    interleave into one total order (the paper's COP scheme).
+  core::ReplicaRuntimeConfig config;
+  config.num_pillars = 2;
+  config.protocol.num_pillars = 2;
+  config.protocol.checkpoint_interval = 100;
+  config.protocol.window = 400;
+
+  std::vector<std::unique_ptr<core::CopReplica>> replicas;
+  for (protocol::ReplicaId r = 0; r < 4; ++r) {
+    replicas.push_back(std::make_unique<core::CopReplica>(
+        r, config, std::make_unique<app::KvStore>(*crypto), *crypto,
+        network.endpoint(protocol::replica_node(r))));
+    replicas.back()->start();
+  }
+
+  // 4. A client: sends requests to all replicas, accepts a result once
+  //    f + 1 = 2 replicas returned matching replies.
+  client::ClientConfig client_config;
+  client_config.id = protocol::kClientIdBase;
+  client_config.num_pillars = config.num_pillars;
+  client::Client client(client_config, *crypto,
+                        network.endpoint(protocol::client_node(
+                            client_config.id)));
+  client.start();
+
+  // Write some entries...
+  for (int i = 0; i < 5; ++i) {
+    app::KvOp put{app::KvOpCode::kPut, "greeting-" + std::to_string(i),
+                  to_bytes("hello world #" + std::to_string(i))};
+    auto reply = client.invoke(put.encode());
+    if (!reply) {
+      std::fprintf(stderr, "put failed\n");
+      return 1;
+    }
+    std::printf("put greeting-%d -> status %u\n", i,
+                static_cast<unsigned>(app::KvResult::decode(*reply)->status));
+  }
+
+  // ...and read one back. The read is totally ordered like the writes, so
+  // it is strongly consistent.
+  app::KvOp get{app::KvOpCode::kGet, "greeting-3", {}};
+  auto reply = client.invoke(get.encode());
+  auto result = app::KvResult::decode(*reply);
+  std::printf("get greeting-3 -> \"%s\"\n",
+              to_string(result->value).c_str());
+
+  std::printf("mean latency: %.0f us over %llu ops\n",
+              client.latencies().mean(),
+              static_cast<unsigned long long>(client.completed()));
+
+  client.stop();
+  for (auto& replica : replicas) replica->stop();
+
+  // All replicas hold identical state — compare their digests.
+  std::string digest0 = replicas[0]->service().state_digest().hex();
+  for (auto& replica : replicas) {
+    if (replica->service().state_digest().hex() != digest0) {
+      std::fprintf(stderr, "replica state divergence!\n");
+      return 1;
+    }
+  }
+  std::printf("all replicas converged on state %s...\n",
+              digest0.substr(0, 16).c_str());
+  return 0;
+}

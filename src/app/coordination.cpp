@@ -1,0 +1,169 @@
+#include "app/coordination.hpp"
+
+#include "protocol/wire.hpp"
+
+namespace copbft::app {
+
+Bytes CoordOp::encode() const {
+  Bytes out;
+  protocol::WireWriter w(out);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.bytes(to_bytes(path));
+  w.bytes(data);
+  return out;
+}
+
+std::optional<CoordOp> CoordOp::decode(ByteSpan payload) {
+  protocol::WireReader r(payload);
+  CoordOp op;
+  op.op = static_cast<CoordOpCode>(r.u8());
+  op.path = to_string(r.bytes());
+  op.data = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  if (static_cast<std::uint8_t>(op.op) < 1 ||
+      static_cast<std::uint8_t>(op.op) > 6)
+    return std::nullopt;
+  return op;
+}
+
+Bytes CoordResult::encode() const {
+  Bytes out;
+  protocol::WireWriter w(out);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u32(version);
+  w.bytes(payload);
+  return out;
+}
+
+std::optional<CoordResult> CoordResult::decode(ByteSpan data) {
+  protocol::WireReader r(data);
+  CoordResult res;
+  res.status = static_cast<CoordStatus>(r.u8());
+  res.version = r.u32();
+  res.payload = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  return res;
+}
+
+CoordinationService::CoordinationService(const crypto::CryptoProvider& crypto)
+    : crypto_(crypto) {
+  // The namespace root always exists.
+  nodes_.emplace("/", ZNode{});
+  xor_into_state(node_digest("/", nodes_.at("/")));
+}
+
+bool CoordinationService::valid_path(const std::string& path) {
+  if (path.empty() || path[0] != '/') return false;
+  if (path.size() > 1 && path.back() == '/') return false;
+  if (path.find("//") != std::string::npos) return false;
+  if (path.find('\n') != std::string::npos) return false;
+  return true;
+}
+
+std::pair<std::string, std::string> CoordinationService::split_path(
+    const std::string& path) {
+  auto pos = path.rfind('/');
+  std::string parent = (pos == 0) ? "/" : path.substr(0, pos);
+  return {parent, path.substr(pos + 1)};
+}
+
+bool CoordinationService::pre_validate(const protocol::Request& request) {
+  auto op = CoordOp::decode(request.payload);
+  return op && valid_path(op->path);
+}
+
+crypto::Digest CoordinationService::node_digest(const std::string& path,
+                                                const ZNode& node) const {
+  Bytes buf;
+  protocol::WireWriter w(buf);
+  w.bytes(to_bytes(path));
+  w.u32(node.version);
+  w.bytes(node.data);
+  return crypto_.digest(buf);
+}
+
+void CoordinationService::xor_into_state(const crypto::Digest& d) {
+  for (std::size_t i = 0; i < state_digest_.bytes.size(); ++i)
+    state_digest_.bytes[i] ^= d.bytes[i];
+}
+
+Bytes CoordinationService::execute(const protocol::Request& request) {
+  auto op = CoordOp::decode(request.payload);
+  if (!op || !valid_path(op->path))
+    return CoordResult{CoordStatus::kBadRequest, 0, {}}.encode();
+  return apply(*op).encode();
+}
+
+CoordResult CoordinationService::apply(const CoordOp& op) {
+  switch (op.op) {
+    case CoordOpCode::kCreate: {
+      if (op.path == "/") return {CoordStatus::kNodeExists, 0, {}};
+      if (nodes_.contains(op.path)) return {CoordStatus::kNodeExists, 0, {}};
+      auto [parent_path, name] = split_path(op.path);
+      auto parent = nodes_.find(parent_path);
+      if (parent == nodes_.end()) return {CoordStatus::kNoParent, 0, {}};
+
+      // Parent's child set changes its identity digest via the version.
+      xor_into_state(node_digest(parent_path, parent->second));
+      parent->second.children.insert(name);
+      ++parent->second.version;
+      xor_into_state(node_digest(parent_path, parent->second));
+
+      ZNode node;
+      node.data = op.data;
+      xor_into_state(node_digest(op.path, node));
+      nodes_.emplace(op.path, std::move(node));
+      return {CoordStatus::kOk, 0, {}};
+    }
+    case CoordOpCode::kDelete: {
+      if (op.path == "/") return {CoordStatus::kBadRequest, 0, {}};
+      auto it = nodes_.find(op.path);
+      if (it == nodes_.end()) return {CoordStatus::kNoNode, 0, {}};
+      if (!it->second.children.empty()) return {CoordStatus::kNotEmpty, 0, {}};
+
+      auto [parent_path, name] = split_path(op.path);
+      auto parent = nodes_.find(parent_path);
+      if (parent != nodes_.end()) {
+        xor_into_state(node_digest(parent_path, parent->second));
+        parent->second.children.erase(name);
+        ++parent->second.version;
+        xor_into_state(node_digest(parent_path, parent->second));
+      }
+      xor_into_state(node_digest(op.path, it->second));
+      nodes_.erase(it);
+      return {CoordStatus::kOk, 0, {}};
+    }
+    case CoordOpCode::kSetData: {
+      auto it = nodes_.find(op.path);
+      if (it == nodes_.end()) return {CoordStatus::kNoNode, 0, {}};
+      xor_into_state(node_digest(op.path, it->second));
+      it->second.data = op.data;
+      ++it->second.version;
+      xor_into_state(node_digest(op.path, it->second));
+      return {CoordStatus::kOk, it->second.version, {}};
+    }
+    case CoordOpCode::kGetData: {
+      auto it = nodes_.find(op.path);
+      if (it == nodes_.end()) return {CoordStatus::kNoNode, 0, {}};
+      return {CoordStatus::kOk, it->second.version, it->second.data};
+    }
+    case CoordOpCode::kChildren: {
+      auto it = nodes_.find(op.path);
+      if (it == nodes_.end()) return {CoordStatus::kNoNode, 0, {}};
+      Bytes list;
+      for (const auto& child : it->second.children) {
+        if (!list.empty()) list.push_back('\n');
+        append(list, child);
+      }
+      return {CoordStatus::kOk, it->second.version, std::move(list)};
+    }
+    case CoordOpCode::kExists: {
+      auto it = nodes_.find(op.path);
+      if (it == nodes_.end()) return {CoordStatus::kNoNode, 0, {}};
+      return {CoordStatus::kOk, it->second.version, {}};
+    }
+  }
+  return {CoordStatus::kBadRequest, 0, {}};
+}
+
+}  // namespace copbft::app

@@ -1,0 +1,92 @@
+#include "app/kv_store.hpp"
+
+#include "protocol/wire.hpp"
+
+namespace copbft::app {
+
+Bytes KvOp::encode() const {
+  Bytes out;
+  protocol::WireWriter w(out);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.bytes(to_bytes(key));
+  w.bytes(value);
+  return out;
+}
+
+std::optional<KvOp> KvOp::decode(ByteSpan payload) {
+  protocol::WireReader r(payload);
+  KvOp op;
+  op.op = static_cast<KvOpCode>(r.u8());
+  op.key = to_string(r.bytes());
+  op.value = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  if (op.op != KvOpCode::kGet && op.op != KvOpCode::kPut &&
+      op.op != KvOpCode::kDelete)
+    return std::nullopt;
+  return op;
+}
+
+Bytes KvResult::encode() const {
+  Bytes out;
+  protocol::WireWriter w(out);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.bytes(value);
+  return out;
+}
+
+std::optional<KvResult> KvResult::decode(ByteSpan payload) {
+  protocol::WireReader r(payload);
+  KvResult res;
+  res.status = static_cast<KvStatus>(r.u8());
+  res.value = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  return res;
+}
+
+crypto::Digest KvStore::entry_digest(const std::string& key,
+                                     ByteSpan value) const {
+  Bytes buf;
+  protocol::WireWriter w(buf);
+  w.bytes(to_bytes(key));
+  w.bytes(value);
+  return crypto_.digest(buf);
+}
+
+void KvStore::xor_into_state(const crypto::Digest& d) {
+  for (std::size_t i = 0; i < state_digest_.bytes.size(); ++i)
+    state_digest_.bytes[i] ^= d.bytes[i];
+}
+
+Bytes KvStore::execute(const protocol::Request& request) {
+  auto op = KvOp::decode(request.payload);
+  if (!op) return KvResult{KvStatus::kBadRequest, {}}.encode();
+
+  switch (op->op) {
+    case KvOpCode::kGet: {
+      auto it = data_.find(op->key);
+      if (it == data_.end()) return KvResult{KvStatus::kNotFound, {}}.encode();
+      return KvResult{KvStatus::kOk, it->second}.encode();
+    }
+    case KvOpCode::kPut: {
+      auto it = data_.find(op->key);
+      if (it != data_.end()) {
+        xor_into_state(entry_digest(op->key, it->second));
+        it->second = op->value;
+      } else {
+        data_.emplace(op->key, op->value);
+      }
+      xor_into_state(entry_digest(op->key, op->value));
+      return KvResult{KvStatus::kOk, {}}.encode();
+    }
+    case KvOpCode::kDelete: {
+      auto it = data_.find(op->key);
+      if (it == data_.end()) return KvResult{KvStatus::kNotFound, {}}.encode();
+      xor_into_state(entry_digest(op->key, it->second));
+      data_.erase(it);
+      return KvResult{KvStatus::kOk, {}}.encode();
+    }
+  }
+  return KvResult{KvStatus::kBadRequest, {}}.encode();
+}
+
+}  // namespace copbft::app

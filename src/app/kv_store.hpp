@@ -1,0 +1,63 @@
+// Replicated key-value store service.
+//
+// Operation encoding (see KvOp helpers):
+//   request : [op u8 | key bytes | value bytes]
+//   reply   : [status u8 | value bytes]
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "app/service.hpp"
+
+namespace copbft::app {
+
+enum class KvOpCode : std::uint8_t { kGet = 1, kPut = 2, kDelete = 3 };
+enum class KvStatus : std::uint8_t { kOk = 0, kNotFound = 1, kBadRequest = 2 };
+
+struct KvOp {
+  KvOpCode op = KvOpCode::kGet;
+  std::string key;
+  Bytes value;
+
+  Bytes encode() const;
+  static std::optional<KvOp> decode(ByteSpan payload);
+};
+
+struct KvResult {
+  KvStatus status = KvStatus::kOk;
+  Bytes value;
+
+  Bytes encode() const;
+  static std::optional<KvResult> decode(ByteSpan payload);
+};
+
+class KvStore final : public Service {
+ public:
+  explicit KvStore(const crypto::CryptoProvider& crypto) : crypto_(crypto) {}
+
+  Bytes execute(const protocol::Request& request) override;
+  crypto::Digest state_digest() const override { return state_digest_; }
+  bool pre_validate(const protocol::Request& request) override {
+    return KvOp::decode(request.payload).has_value();
+  }
+
+  std::size_t size() const { return data_.size(); }
+  /// Direct read access for tests / state comparison.
+  const Bytes* lookup(const std::string& key) const {
+    auto it = data_.find(key);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  // The state digest is the XOR of one digest per live entry, so it is
+  // order-independent and maintainable in O(1) per mutation.
+  crypto::Digest entry_digest(const std::string& key, ByteSpan value) const;
+  void xor_into_state(const crypto::Digest& d);
+
+  const crypto::CryptoProvider& crypto_;
+  std::unordered_map<std::string, Bytes> data_;
+  crypto::Digest state_digest_;
+};
+
+}  // namespace copbft::app

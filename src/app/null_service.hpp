@@ -1,0 +1,42 @@
+// Microbenchmark service: no application work, configurable reply size.
+// This is the paper's "service implementation that does not perform
+// calculations but answers totally ordered requests with replies of
+// configurable size" (§5.1).
+#pragma once
+
+#include "app/service.hpp"
+
+namespace copbft::app {
+
+class NullService final : public Service {
+ public:
+  explicit NullService(std::size_t reply_size = 0)
+      : reply_(reply_size, Byte{0xab}) {}
+
+  Bytes execute(const protocol::Request& request) override {
+    ++executed_;
+    last_key_ = request.key();
+    return reply_;
+  }
+
+  crypto::Digest state_digest() const override {
+    // State is just the execution counter; fold it into a digest directly.
+    crypto::Digest d;
+    for (int i = 0; i < 8; ++i) {
+      d.bytes[static_cast<std::size_t>(i)] =
+          static_cast<Byte>(executed_ >> (8 * i));
+      d.bytes[static_cast<std::size_t>(8 + i)] =
+          static_cast<Byte>(last_key_ >> (8 * i));
+    }
+    return d;
+  }
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  Bytes reply_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t last_key_ = 0;
+};
+
+}  // namespace copbft::app

@@ -1,0 +1,41 @@
+// Deterministic replicated-service interface (state-machine replication).
+//
+// The execution stage invokes execute() strictly in total order; any two
+// non-faulty replicas that executed the same prefix must hold identical
+// state and return identical results. state_digest() feeds checkpointing
+// and must be cheap — implementations maintain it incrementally (the paper
+// notes services can pre-compute parts of the checkpoint hash, §2.2).
+//
+// pre_validate()/post_process() are COP's offloading hooks (§4.3.1): they
+// run inside the pillar, outside the total order, and must not touch
+// ordered state.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/provider.hpp"
+#include "protocol/messages.hpp"
+
+namespace copbft::app {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Executes one ordered request; returns the reply payload.
+  virtual Bytes execute(const protocol::Request& request) = 0;
+
+  /// Incrementally maintained digest over the full service state.
+  virtual crypto::Digest state_digest() const = 0;
+
+  /// Offloaded pre-execution (parse/validate), run in the pillar before
+  /// ordering completes enforcement; false rejects the request early.
+  virtual bool pre_validate(const protocol::Request&) { return true; }
+
+  /// Offloaded post-processing of a reply (e.g. final formatting), run in
+  /// the pillar after the ordered part produced `result`.
+  virtual Bytes post_process(const protocol::Request&, Bytes result) {
+    return result;
+  }
+};
+
+}  // namespace copbft::app

@@ -1,0 +1,185 @@
+#include "client/client.hpp"
+
+#include "common/logging.hpp"
+#include "common/time.hpp"
+#include "protocol/wire.hpp"
+
+namespace copbft::client {
+
+Client::Client(ClientConfig config, const crypto::CryptoProvider& crypto,
+               transport::Transport& transport)
+    : config_(config), crypto_(crypto), transport_(transport) {
+  inbox_ = std::make_shared<transport::Inbox>(4096);
+  transport_.register_sink(0, inbox_);
+}
+
+Client::~Client() { stop(); }
+
+void Client::start() {
+  thread_ = named_thread("client-" + std::to_string(config_.id),
+                         [this] { run(); });
+}
+
+void Client::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  window_open_.notify_all();
+  inbox_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+Bytes Client::seal_request(protocol::Request& req) {
+  std::vector<crypto::KeyNodeId> recipients;
+  recipients.reserve(config_.num_replicas);
+  for (std::uint32_t r = 0; r < config_.num_replicas; ++r)
+    recipients.push_back(protocol::replica_node(r));
+
+  Bytes body = protocol::request_authenticated_bytes(req);
+  req.auth = crypto::Authenticator::build(
+      crypto_, protocol::client_node(config_.id), recipients, ByteSpan{body});
+  protocol::WireWriter w(body);
+  w.authenticator(req.auth);
+  return body;
+}
+
+bool Client::invoke_async(Bytes payload, std::uint8_t flags, Callback done) {
+  protocol::RequestId id;
+  Bytes frame;
+  std::uint64_t now;
+  {
+    std::unique_lock lock(mutex_);
+    window_open_.wait(lock, [&] {
+      return stopped_ || pending_.size() < config_.window;
+    });
+    if (stopped_) return false;
+
+    id = next_id_++;
+    protocol::Request req{config_.id, id, flags, std::move(payload), {}};
+    frame = seal_request(req);
+    now = now_us();
+
+    Pending& p = pending_[id];
+    p.frame = frame;
+    p.done = std::move(done);
+    p.sent_at_us = now;
+    p.deadline_us = now + config_.retransmit_timeout_us;
+  }
+  for (std::uint32_t r = 0; r < config_.num_replicas; ++r)
+    transport_.send(protocol::replica_node(r), lane(), frame);
+  return true;
+}
+
+std::optional<Bytes> Client::invoke(Bytes payload, std::uint8_t flags) {
+  std::promise<Bytes> promise;
+  auto future = promise.get_future();
+  bool ok = invoke_async(std::move(payload), flags,
+                         [&promise](Bytes result, std::uint64_t) {
+                           promise.set_value(std::move(result));
+                         });
+  if (!ok) return std::nullopt;
+  // stop() never abandons pending callbacks before the thread joined, but
+  // guard against a stop racing the completion.
+  if (future.wait_for(std::chrono::minutes(5)) != std::future_status::ready)
+    return std::nullopt;
+  return future.get();
+}
+
+void Client::drain() {
+  std::unique_lock lock(mutex_);
+  window_open_.wait(lock, [&] {
+    return stopped_ || (pending_.empty() && callbacks_in_flight_ == 0);
+  });
+}
+
+void Client::run() {
+  const auto poll = std::chrono::microseconds(10'000);
+  while (true) {
+    auto frame = inbox_->queue().pop_for(poll);
+    if (!frame && inbox_->queue().closed()) break;
+    if (frame) handle_reply(*frame);
+    retransmit_due(now_us());
+  }
+  // Fail outstanding invocations so synchronous callers unblock.
+  std::unordered_map<protocol::RequestId, Pending> orphans;
+  {
+    std::lock_guard lock(mutex_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, p] : orphans)
+    if (p.done) p.done({}, 0);
+  window_open_.notify_all();
+}
+
+void Client::handle_reply(transport::ReceivedFrame& frame) {
+  auto decoded = protocol::decode_message(frame.bytes);
+  if (!decoded) return;
+  auto* reply = std::get_if<protocol::Reply>(&decoded->msg);
+  if (!reply || reply->client != config_.id ||
+      reply->replica >= config_.num_replicas)
+    return;
+
+  // Authenticate the reply against the claimed replica.
+  ByteSpan body{frame.bytes.data(), decoded->body_size};
+  if (!reply->auth.verify(crypto_, protocol::replica_node(reply->replica),
+                          protocol::client_node(config_.id), body))
+    return;
+
+  Callback done;
+  Bytes result;
+  std::uint64_t latency = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = pending_.find(reply->id);
+    if (it == pending_.end()) return;  // already stable or stale
+    Pending& p = it->second;
+
+    std::uint32_t bit = 1u << reply->replica;
+    if (p.voters_seen & bit) return;  // duplicate vote
+    p.voters_seen |= bit;
+
+    crypto::Digest d = crypto_.digest(reply->result);
+    std::uint32_t count = ++p.votes[d];
+    p.results.try_emplace(d, reply->result);
+    if (count < config_.max_faulty + 1) return;
+
+    // Stable: f+1 matching replies.
+    latency = now_us() - p.sent_at_us;
+    result = std::move(p.results[d]);
+    done = std::move(p.done);
+    pending_.erase(it);
+    latencies_.record(latency);
+    ++completed_;
+    if (done) ++callbacks_in_flight_;
+  }
+  window_open_.notify_all();
+  if (done) {
+    done(std::move(result), latency);
+    {
+      std::lock_guard lock(mutex_);
+      --callbacks_in_flight_;
+    }
+    window_open_.notify_all();
+  }
+}
+
+void Client::retransmit_due(std::uint64_t now) {
+  std::vector<Bytes> frames;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, p] : pending_) {
+      if (now >= p.deadline_us) {
+        p.deadline_us = now + config_.retransmit_timeout_us;
+        frames.push_back(p.frame);
+        ++retransmissions_;
+      }
+    }
+  }
+  for (Bytes& frame : frames)
+    for (std::uint32_t r = 0; r < config_.num_replicas; ++r)
+      transport_.send(protocol::replica_node(r), lane(), frame);
+}
+
+}  // namespace copbft::client

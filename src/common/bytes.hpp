@@ -1,0 +1,45 @@
+// Basic byte-buffer vocabulary types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace copbft {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Appends the raw characters of `src` to `dst`.
+inline void append(Bytes& dst, std::string_view src) {
+  const auto* p = reinterpret_cast<const Byte*>(src.data());
+  dst.insert(dst.end(), p, p + src.size());
+}
+
+/// Builds a byte vector from a string literal / view.
+inline Bytes to_bytes(std::string_view s) {
+  Bytes out;
+  append(out, s);
+  return out;
+}
+
+/// Interprets a byte range as text (for diagnostics only).
+inline std::string to_string(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+inline bool equal(ByteSpan a, ByteSpan b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace copbft

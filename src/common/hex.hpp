@@ -1,0 +1,17 @@
+// Hex encoding/decoding for digests and test vectors.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace copbft {
+
+/// Lower-case hex encoding of `data`.
+std::string to_hex(ByteSpan data);
+
+/// Decodes a hex string; returns nullopt on odd length or invalid digits.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace copbft

@@ -1,0 +1,31 @@
+// Minimal leveled logger. Single fprintf per record keeps lines atomic.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace copbft {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; records below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style sink. Prefer the COP_LOG_* macros, which skip argument
+/// evaluation when the level is disabled.
+void log_record(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace copbft
+
+#define COP_LOG_AT(level, ...)                                      \
+  do {                                                              \
+    if (level >= ::copbft::log_level())                             \
+      ::copbft::log_record(level, __FILE__, __LINE__, __VA_ARGS__); \
+  } while (0)
+
+#define COP_LOG_DEBUG(...) COP_LOG_AT(::copbft::LogLevel::kDebug, __VA_ARGS__)
+#define COP_LOG_INFO(...) COP_LOG_AT(::copbft::LogLevel::kInfo, __VA_ARGS__)
+#define COP_LOG_WARN(...) COP_LOG_AT(::copbft::LogLevel::kWarn, __VA_ARGS__)
+#define COP_LOG_ERROR(...) COP_LOG_AT(::copbft::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,28 @@
+// Thread helpers: named joining threads.
+#pragma once
+
+#include <pthread.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace copbft {
+
+/// Sets the current thread's name (visible in /proc, debuggers, perf).
+inline void set_current_thread_name(const std::string& name) {
+  // Linux limits names to 15 chars + NUL.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+}
+
+/// std::jthread that names itself before running the body.
+template <typename Fn>
+std::jthread named_thread(std::string name, Fn&& fn) {
+  return std::jthread(
+      [name = std::move(name), fn = std::forward<Fn>(fn)]() mutable {
+        set_current_thread_name(name);
+        fn();
+      });
+}
+
+}  // namespace copbft

@@ -1,0 +1,17 @@
+// Monotonic time helper.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace copbft {
+
+/// Microseconds from an arbitrary monotonic epoch.
+inline std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace copbft

@@ -1,0 +1,55 @@
+#include "core/cop_replica.hpp"
+
+namespace copbft::core {
+
+CopReplica::CopReplica(ReplicaId self, ReplicaRuntimeConfig config,
+                       std::unique_ptr<app::Service> service,
+                       const crypto::CryptoProvider& crypto,
+                       transport::Transport& transport)
+    : self_(self),
+      config_(std::move(config)),
+      service_(std::move(service)),
+      transport_(transport),
+      outbound_(self, config_.protocol.num_replicas, crypto, transport),
+      exec_(self, config_, *service_, crypto, transport,
+            [this](std::uint32_t pillar, PillarCommand command) {
+              pillars_[pillar]->post_command(std::move(command));
+            }) {
+  // Checkpoint stability found by one pillar is fanned out to siblings so
+  // all of them can truncate logs and stay within the drift bound.
+  auto on_stable = [this](protocol::SeqNum seq, const crypto::Digest& digest,
+                          std::uint32_t origin) {
+    for (std::uint32_t q = 0; q < pillars_.size(); ++q) {
+      if (q != origin) pillars_[q]->post_command(NoteStable{seq, digest});
+    }
+  };
+
+  pillars_.reserve(config_.num_pillars);
+  for (std::uint32_t p = 0; p < config_.num_pillars; ++p) {
+    pillars_.push_back(std::make_shared<Pillar>(
+        self_, p, config_, crypto, transport_, exec_, outbound_,
+        service_.get(), on_stable));
+    transport_.register_sink(p, pillars_.back());
+  }
+}
+
+void CopReplica::start() {
+  exec_.start();
+  for (auto& pillar : pillars_) pillar->start();
+}
+
+void CopReplica::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& pillar : pillars_) pillar->stop();
+  exec_.stop();
+}
+
+ReplicaStats CopReplica::stats() const {
+  ReplicaStats out;
+  out.exec = exec_.stats();
+  for (const auto& pillar : pillars_) out.core += pillar->core_stats();
+  return out;
+}
+
+}  // namespace copbft::core

@@ -1,0 +1,61 @@
+// Events flowing between the threads of a replica.
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "protocol/messages.hpp"
+#include "protocol/verifier.hpp"
+#include "transport/transport.hpp"
+
+namespace copbft::core {
+
+// ---- execution-stage -> protocol-logic commands ---------------------------
+
+/// The execution stage crossed a checkpoint boundary; the addressed logic
+/// unit runs the checkpoint agreement (paper §4.2.2).
+struct StartCheckpoint {
+  protocol::SeqNum seq = 0;
+  crypto::Digest digest;
+};
+
+/// A sibling pillar's checkpoint agreement became stable; truncate logs
+/// and slide the window.
+struct NoteStable {
+  protocol::SeqNum seq = 0;
+  crypto::Digest digest;
+};
+
+/// The total order is stalled waiting for sequence numbers up to `seq`;
+/// fill the slice's share with pending requests or no-ops (paper §4.2.1).
+struct FillGap {
+  protocol::SeqNum seq = 0;
+};
+
+using PillarCommand = std::variant<StartCheckpoint, NoteStable, FillGap>;
+
+/// A message that an upstream stage already decoded (and possibly
+/// verified): the ingress stage of TOP, the verification workers of the
+/// SMaRt baseline. COP pillars decode in place and never use this.
+struct PreparedInput {
+  protocol::IncomingMessage im;
+};
+
+/// Everything a protocol-logic thread consumes: network frames,
+/// pre-processed messages and intra-replica commands, in one queue so the
+/// thread has a single blocking point.
+using PillarEvent =
+    std::variant<transport::ReceivedFrame, PillarCommand, PreparedInput>;
+
+// ---- protocol-logic -> execution-stage --------------------------------
+
+/// Outcome of a completed consensus instance, possibly out of order.
+struct CommittedBatch {
+  protocol::SeqNum seq = 0;
+  protocol::ViewId view = 0;
+  std::shared_ptr<const std::vector<protocol::Request>> requests;
+  /// Which pillar/logic unit completed it (reply routing, stats).
+  std::uint32_t pillar = 0;
+};
+
+}  // namespace copbft::core

@@ -1,0 +1,173 @@
+#include "core/execution_stage.hpp"
+
+#include "common/logging.hpp"
+#include "common/time.hpp"
+#include "core/outbound.hpp"
+
+namespace copbft::core {
+namespace {
+
+constexpr std::size_t kReplyCachePerClient = 32;
+constexpr std::uint64_t kDedupWindow = 4096;
+
+}  // namespace
+
+ExecutionStage::ExecutionStage(ReplicaId self,
+                               const ReplicaRuntimeConfig& config,
+                               app::Service& service,
+                               const crypto::CryptoProvider& crypto,
+                               transport::Transport& transport,
+                               CommandFn command)
+    : self_(self),
+      config_(config),
+      service_(service),
+      crypto_(crypto),
+      transport_(transport),
+      command_(std::move(command)),
+      queue_(config.queue_capacity) {}
+
+void ExecutionStage::start() {
+  thread_ = named_thread("exec", [this] { run(); });
+}
+
+void ExecutionStage::stop() {
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExecutionStage::run() {
+  const auto poll = std::chrono::microseconds(
+      std::max<std::uint64_t>(config_.gap_timeout_us / 2, 500));
+  while (true) {
+    auto batch = queue_.pop_for(poll);
+    if (!batch && queue_.closed()) return;
+    if (batch) {
+      if (batch->seq >= next_seq_ && !reorder_.contains(batch->seq))
+        reorder_.emplace(batch->seq, std::move(*batch));
+      // Drain whatever else is already queued before executing: cheap and
+      // increases the chance the reorder buffer can run a long streak.
+      while (auto more = queue_.try_pop()) {
+        if (more->seq >= next_seq_ && !reorder_.contains(more->seq))
+          reorder_.emplace(more->seq, std::move(*more));
+      }
+    }
+    apply_ready();
+    check_gap(now_us());
+  }
+}
+
+void ExecutionStage::apply_ready() {
+  while (true) {
+    auto it = reorder_.find(next_seq_);
+    if (it == reorder_.end()) break;
+    execute_batch(it->second);
+    reorder_.erase(it);
+    stats_.last_executed_seq = next_seq_;
+    maybe_checkpoint(next_seq_);
+    ++next_seq_;
+    stall_since_us_ = 0;
+  }
+}
+
+void ExecutionStage::execute_batch(const CommittedBatch& batch) {
+  ++stats_.batches_executed;
+  if (!batch.requests || batch.requests->empty()) {
+    ++stats_.noops_executed;
+    return;
+  }
+  for (const protocol::Request& req : *batch.requests)
+    execute_request(req, batch.view);
+}
+
+bool ExecutionStage::already_executed(ClientState& state,
+                                      protocol::RequestId id) const {
+  if (state.max_done >= kDedupWindow && id <= state.max_done - kDedupWindow)
+    return true;  // far below the window: long done
+  return state.done.contains(id);
+}
+
+void ExecutionStage::record_executed(ClientState& state,
+                                     protocol::RequestId id) {
+  state.done.insert(id);
+  if (id > state.max_done) state.max_done = id;
+  // Prune entries that fell below the dedup window.
+  if (state.done.size() > 2 * kDedupWindow) {
+    std::erase_if(state.done, [&](protocol::RequestId done_id) {
+      return state.max_done >= kDedupWindow &&
+             done_id <= state.max_done - kDedupWindow;
+    });
+  }
+}
+
+void ExecutionStage::execute_request(const protocol::Request& request,
+                                     protocol::ViewId view) {
+  ClientState& state = clients_[request.client];
+  if (already_executed(state, request.id)) {
+    ++stats_.duplicates_suppressed;
+    // Retransmission of an executed request: resend the cached reply.
+    for (const auto& [id, result] : state.replies) {
+      if (id == request.id) {
+        send_reply(request.client, request.id, view, result);
+        break;
+      }
+    }
+    return;
+  }
+
+  Bytes result = service_.execute(request);
+  record_executed(state, request.id);
+  ++stats_.requests_executed;
+
+  state.replies.emplace_back(request.id, result);
+  if (state.replies.size() > kReplyCachePerClient) state.replies.pop_front();
+
+  if (config_.reply_mode == ReplyMode::kOmitOne &&
+      config_.omitted_replier(request.key()) == self_) {
+    ++stats_.replies_omitted;
+    return;
+  }
+  send_reply(request.client, request.id, view,
+             service_.post_process(request, std::move(result)));
+}
+
+void ExecutionStage::send_reply(protocol::ClientId client,
+                                protocol::RequestId id, protocol::ViewId view,
+                                Bytes result) {
+  protocol::Message msg =
+      protocol::Reply{view, client, id, self_, std::move(result), {}};
+  Bytes frame = seal_message(msg, crypto_, protocol::replica_node(self_),
+                             {protocol::client_node(client)});
+  transport_.send(protocol::client_node(client), /*lane=*/0,
+                  std::move(frame));
+  ++stats_.replies_sent;
+}
+
+void ExecutionStage::maybe_checkpoint(protocol::SeqNum seq) {
+  if (seq % config_.protocol.checkpoint_interval != 0) return;
+  ++stats_.checkpoints_triggered;
+  crypto::Digest digest = service_.state_digest();
+  // Round-robin checkpoint ownership across pillars (paper §4.2.2).
+  std::uint32_t owner = static_cast<std::uint32_t>(
+      (seq / config_.protocol.checkpoint_interval) % config_.num_pillars);
+  command_(owner, StartCheckpoint{seq, digest});
+}
+
+void ExecutionStage::check_gap(std::uint64_t now) {
+  if (reorder_.empty()) {
+    stall_since_us_ = 0;
+    return;
+  }
+  // Something beyond next_seq_ committed but next_seq_ has not: a gap.
+  if (stall_since_us_ == 0) {
+    stall_since_us_ = now;
+    return;
+  }
+  if (now - stall_since_us_ < config_.gap_timeout_us) return;
+  stall_since_us_ = now;
+  ++stats_.gap_fills_requested;
+  protocol::SeqNum target = reorder_.rbegin()->first;
+  for (std::uint32_t p = 0; p < config_.num_pillars; ++p)
+    command_(p, FillGap{target});
+}
+
+}  // namespace copbft::core

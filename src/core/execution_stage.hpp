@@ -1,0 +1,100 @@
+// Execution stage: turns the out-of-order stream of committed instances
+// into the total order, executes the service, and replies to clients
+// (paper §4.1/§4.2).
+//
+// One single-threaded stage per replica, shared by all pillars (COP) or
+// fed by the single logic thread (TOP/SMaRt). Responsibilities:
+//   * reorder buffer keyed by sequence number; execute strictly in order,
+//   * exactly-once execution per (client, request id) with a bounded
+//     reply cache for retransmissions,
+//   * checkpoint triggering every `checkpoint_interval` sequence numbers,
+//     addressed round-robin to the owning pillar (paper §4.2.2),
+//   * gap detection: if the next needed sequence number does not commit
+//     within gap_timeout, ask the pillars to fill their slices with no-op
+//     instances (paper §4.2.1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "app/service.hpp"
+#include "common/queue.hpp"
+#include "common/threading.hpp"
+#include "core/events.hpp"
+#include "core/runtime_config.hpp"
+
+namespace copbft::core {
+
+struct ExecutionStats {
+  std::uint64_t batches_executed = 0;
+  std::uint64_t requests_executed = 0;
+  std::uint64_t noops_executed = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t replies_omitted = 0;
+  std::uint64_t checkpoints_triggered = 0;
+  std::uint64_t gap_fills_requested = 0;
+  protocol::SeqNum last_executed_seq = 0;
+};
+
+class ExecutionStage {
+ public:
+  /// `command` routes a PillarCommand to logic unit `pillar` of this
+  /// replica; `send_reply` delivers a sealed frame to a client node.
+  using CommandFn = std::function<void(std::uint32_t pillar, PillarCommand)>;
+
+  ExecutionStage(ReplicaId self, const ReplicaRuntimeConfig& config,
+                 app::Service& service, const crypto::CryptoProvider& crypto,
+                 transport::Transport& transport, CommandFn command);
+
+  void start();
+  void stop();
+
+  /// Called by any pillar thread when an instance commits.
+  bool submit(CommittedBatch batch) { return queue_.push(std::move(batch)); }
+
+  const ExecutionStats& stats() const { return stats_; }
+  protocol::SeqNum next_seq() const { return next_seq_; }
+
+ private:
+  struct ClientState {
+    protocol::RequestId max_done = 0;
+    /// Executed ids above the pruning floor (async windows commit out of
+    /// order within a client).
+    std::unordered_set<protocol::RequestId> done;
+    /// Recent replies for retransmission handling, newest last.
+    std::deque<std::pair<protocol::RequestId, Bytes>> replies;
+  };
+
+  void run();
+  void apply_ready();
+  void execute_batch(const CommittedBatch& batch);
+  void execute_request(const protocol::Request& request,
+                       protocol::ViewId view);
+  void send_reply(protocol::ClientId client, protocol::RequestId id,
+                  protocol::ViewId view, Bytes result);
+  void maybe_checkpoint(protocol::SeqNum seq);
+  void check_gap(std::uint64_t now);
+  bool already_executed(ClientState& state, protocol::RequestId id) const;
+  void record_executed(ClientState& state, protocol::RequestId id);
+
+  const ReplicaId self_;
+  const ReplicaRuntimeConfig& config_;
+  app::Service& service_;
+  const crypto::CryptoProvider& crypto_;
+  transport::Transport& transport_;
+  CommandFn command_;
+
+  BoundedQueue<CommittedBatch> queue_;
+  std::map<protocol::SeqNum, CommittedBatch> reorder_;
+  protocol::SeqNum next_seq_ = 1;
+  std::unordered_map<protocol::ClientId, ClientState> clients_;
+  std::uint64_t stall_since_us_ = 0;
+  ExecutionStats stats_;
+  std::jthread thread_;
+};
+
+}  // namespace copbft::core

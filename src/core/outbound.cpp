@@ -1,0 +1,29 @@
+#include "core/outbound.hpp"
+
+#include "protocol/wire.hpp"
+
+namespace copbft::core {
+
+Bytes seal_message(protocol::Message& msg,
+                   const crypto::CryptoProvider& crypto,
+                   crypto::KeyNodeId self,
+                   const std::vector<crypto::KeyNodeId>& recipients) {
+  Bytes frame = protocol::encode_authenticated_part(msg);
+  auto auth = crypto::Authenticator::build(crypto, self, recipients,
+                                           ByteSpan{frame});
+  protocol::authenticator_of(msg) = auth;
+  protocol::WireWriter w(frame);
+  w.authenticator(auth);
+  return frame;
+}
+
+std::vector<crypto::KeyNodeId> other_replicas(std::uint32_t num_replicas,
+                                              protocol::ReplicaId self) {
+  std::vector<crypto::KeyNodeId> out;
+  out.reserve(num_replicas - 1);
+  for (std::uint32_t r = 0; r < num_replicas; ++r)
+    if (r != self) out.push_back(protocol::replica_node(r));
+  return out;
+}
+
+}  // namespace copbft::core

@@ -1,0 +1,53 @@
+#include "core/outbound_sink.hpp"
+
+namespace copbft::core {
+
+AuthPoolOutbound::AuthPoolOutbound(ReplicaId self, std::uint32_t num_replicas,
+                                   const crypto::CryptoProvider& crypto,
+                                   transport::Transport& transport,
+                                   std::uint32_t threads,
+                                   std::size_t queue_capacity)
+    : self_(self),
+      crypto_(crypto),
+      transport_(transport),
+      peers_(other_replicas(num_replicas, self)),
+      queue_(queue_capacity) {
+  threads_.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i)
+    threads_.emplace_back(
+        named_thread("auth-" + std::to_string(i), [this] { worker(); }));
+}
+
+void AuthPoolOutbound::broadcast(protocol::Message msg,
+                                 transport::LaneId lane) {
+  queue_.push(Work{std::move(msg), lane, /*broadcast=*/true, 0});
+}
+
+void AuthPoolOutbound::send_to(ReplicaId to, protocol::Message msg,
+                               transport::LaneId lane) {
+  queue_.push(Work{std::move(msg), lane, /*broadcast=*/false, to});
+}
+
+void AuthPoolOutbound::worker() {
+  while (auto work = queue_.pop()) {
+    if (work->broadcast) {
+      Bytes frame = seal_message(work->msg, crypto_,
+                                 protocol::replica_node(self_), peers_);
+      for (crypto::KeyNodeId peer : peers_)
+        transport_.send(peer, work->lane, frame);
+    } else {
+      Bytes frame =
+          seal_message(work->msg, crypto_, protocol::replica_node(self_),
+                       {protocol::replica_node(work->to)});
+      transport_.send(protocol::replica_node(work->to), work->lane,
+                      std::move(frame));
+    }
+  }
+}
+
+void AuthPoolOutbound::stop() {
+  queue_.close();
+  threads_.clear();  // jthreads join
+}
+
+}  // namespace copbft::core

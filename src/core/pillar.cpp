@@ -1,0 +1,129 @@
+#include "core/pillar.hpp"
+
+#include "common/logging.hpp"
+#include "common/time.hpp"
+
+namespace copbft::core {
+namespace {
+
+protocol::SeqSlice slice_for(std::uint32_t index,
+                             const ReplicaRuntimeConfig& config) {
+  return protocol::SeqSlice{index, config.num_pillars};
+}
+
+}  // namespace
+
+Pillar::Pillar(ReplicaId self, std::uint32_t index,
+               const ReplicaRuntimeConfig& config,
+               const crypto::CryptoProvider& crypto,
+               transport::Transport& transport, ExecutionStage& exec,
+               OutboundSink& outbound, app::Service* service,
+               StableFn on_stable)
+    : self_(self),
+      index_(index),
+      config_(config),
+      transport_(transport),
+      exec_(exec),
+      outbound_(outbound),
+      service_(service),
+      on_stable_(std::move(on_stable)),
+      queue_(config.queue_capacity),
+      verifier_(crypto, protocol::replica_node(self)),
+      core_(config.protocol, self, slice_for(index, config), verifier_,
+            crypto) {}
+
+void Pillar::start() {
+  thread_ = named_thread("pillar-" + std::to_string(index_),
+                         [this] { run(); });
+}
+
+void Pillar::stop() {
+  queue_.close();
+  commands_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Pillar::run() {
+  const auto poll = std::chrono::microseconds(1000);
+  while (true) {
+    auto event = queue_.pop_for(poll);
+    if (!event && queue_.closed()) return;
+    // Commands are few but urgent (checkpoint stability slides the
+    // window); drain them first.
+    while (auto command = commands_.try_pop()) handle_command(*command);
+    if (event) {
+      if (auto* frame = std::get_if<transport::ReceivedFrame>(&*event)) {
+        handle_frame(*frame);
+      } else if (auto* prepared = std::get_if<PreparedInput>(&*event)) {
+        handle_prepared(*prepared);
+      } else {
+        handle_command(std::get<PillarCommand>(*event));
+      }
+    }
+    core_.tick(now_us());
+    drain_effects();
+  }
+}
+
+void Pillar::handle_frame(transport::ReceivedFrame& frame) {
+  auto decoded = protocol::decode_message(frame.bytes);
+  if (!decoded) {
+    COP_LOG_WARN("replica %u pillar %u: malformed frame from node %u", self_,
+                 index_, frame.from);
+    return;
+  }
+  if (auto* req = std::get_if<protocol::Request>(&decoded->msg)) {
+    feed_request(std::move(*req), /*verified=*/false);
+    return;
+  }
+  protocol::IncomingMessage im;
+  im.msg = std::move(decoded->msg);
+  im.raw = std::move(frame.bytes);
+  im.body_size = decoded->body_size;
+  core_.on_message(std::move(im), now_us());
+}
+
+void Pillar::handle_prepared(PreparedInput& input) {
+  if (auto* req = std::get_if<protocol::Request>(&input.im.msg)) {
+    feed_request(std::move(*req), input.im.pre_verified);
+    return;
+  }
+  core_.on_message(std::move(input.im), now_us());
+}
+
+void Pillar::feed_request(protocol::Request req, bool verified) {
+  // Offloaded pre-execution (paper §4.3.1): reject malformed operations
+  // before they consume an ordering slot.
+  if (service_ && !service_->pre_validate(req)) return;
+  core_.on_request(std::move(req), now_us(), verified);
+}
+
+void Pillar::handle_command(const PillarCommand& command) {
+  if (const auto* cp = std::get_if<StartCheckpoint>(&command)) {
+    core_.start_checkpoint(cp->seq, cp->digest, now_us());
+  } else if (const auto* stable = std::get_if<NoteStable>(&command)) {
+    core_.note_checkpoint_stable(stable->seq, stable->digest);
+  } else if (const auto* gap = std::get_if<FillGap>(&command)) {
+    core_.fill_gap_upto(gap->seq, now_us());
+  }
+}
+
+void Pillar::drain_effects() {
+  for (protocol::Effect& effect : core_.take_effects()) {
+    if (auto* bc = std::get_if<protocol::Broadcast>(&effect)) {
+      outbound_.broadcast(std::move(bc->msg), index_);
+    } else if (auto* send = std::get_if<protocol::SendTo>(&effect)) {
+      outbound_.send_to(send->to, std::move(send->msg), index_);
+    } else if (auto* deliver = std::get_if<protocol::Deliver>(&effect)) {
+      exec_.submit(CommittedBatch{deliver->seq, deliver->view,
+                                  std::move(deliver->requests), index_});
+    } else if (auto* stable = std::get_if<protocol::CheckpointStable>(&effect)) {
+      if (on_stable_) on_stable_(stable->seq, stable->digest, index_);
+    } else if (auto* vc = std::get_if<protocol::ViewChanged>(&effect)) {
+      COP_LOG_INFO("replica %u pillar %u: now in view %llu", self_, index_,
+                   static_cast<unsigned long long>(vc->view));
+    }
+  }
+}
+
+}  // namespace copbft::core

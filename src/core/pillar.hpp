@@ -1,0 +1,84 @@
+// Protocol-logic unit: one thread driving one PbftCore.
+//
+// For COP this is a *pillar* (paper §4.1): it owns a slice of the sequence
+// space, verifies in order and seals in place, and talks to peers over its
+// private lane. The same class, instantiated once with the trivial slice
+// and an AuthPoolOutbound, is the logic stage of the TOP and SMaRt
+// pipelines — the paper's "same code base" methodology in code.
+#pragma once
+
+#include <functional>
+
+#include "app/service.hpp"
+#include "common/queue.hpp"
+#include "common/threading.hpp"
+#include "core/events.hpp"
+#include "core/execution_stage.hpp"
+#include "core/outbound_sink.hpp"
+#include "protocol/pbft_core.hpp"
+
+namespace copbft::core {
+
+class Pillar final : public transport::FrameSink {
+ public:
+  /// Propagates checkpoint stability from the owning pillar to siblings
+  /// (paper §4.2.2); no-op for single-pillar replicas.
+  using StableFn = std::function<void(protocol::SeqNum, const crypto::Digest&,
+                                      std::uint32_t origin)>;
+
+  Pillar(ReplicaId self, std::uint32_t index,
+         const ReplicaRuntimeConfig& config,
+         const crypto::CryptoProvider& crypto,
+         transport::Transport& transport, ExecutionStage& exec,
+         OutboundSink& outbound, app::Service* service, StableFn on_stable);
+
+  void start();
+  void stop();
+
+  // FrameSink: called by the transport for this pillar's lane.
+  bool deliver(transport::ReceivedFrame frame) override {
+    return queue_.push(PillarEvent{std::move(frame)});
+  }
+  void close() override { queue_.close(); }
+
+  /// Prepared messages from upstream pipeline stages.
+  bool post(PillarEvent event) { return queue_.push(std::move(event)); }
+
+  /// Commands from the execution stage / sibling pillars. Uses a separate
+  /// queue with ample headroom so the execution stage never blocks on a
+  /// pillar whose main queue is full (which could deadlock: the pillar may
+  /// itself be blocked submitting to the execution stage).
+  bool post_command(PillarCommand command) {
+    return commands_.push(std::move(command));
+  }
+
+  std::uint32_t index() const { return index_; }
+  /// Core statistics; safe to read after stop().
+  const protocol::CoreStats& core_stats() const { return core_.stats(); }
+  const protocol::PbftCore& core() const { return core_; }
+
+ private:
+  void run();
+  void handle_frame(transport::ReceivedFrame& frame);
+  void handle_prepared(PreparedInput& input);
+  void handle_command(const PillarCommand& command);
+  void feed_request(protocol::Request req, bool verified);
+  void drain_effects();
+
+  const ReplicaId self_;
+  const std::uint32_t index_;
+  const ReplicaRuntimeConfig& config_;
+  transport::Transport& transport_;
+  ExecutionStage& exec_;
+  OutboundSink& outbound_;
+  app::Service* service_;  ///< offloaded pre-validation hook; may be null
+  StableFn on_stable_;
+
+  BoundedQueue<PillarEvent> queue_;
+  BoundedQueue<PillarCommand> commands_{1 << 16};
+  protocol::CryptoVerifier verifier_;
+  protocol::PbftCore core_;
+  std::jthread thread_;
+};
+
+}  // namespace copbft::core

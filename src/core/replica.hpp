@@ -1,0 +1,27 @@
+// Common interface of the three replica architectures.
+#pragma once
+
+#include <memory>
+
+#include "core/execution_stage.hpp"
+#include "protocol/pbft_core.hpp"
+
+namespace copbft::core {
+
+struct ReplicaStats {
+  protocol::CoreStats core;  ///< summed over all logic units
+  ExecutionStats exec;
+};
+
+class Replica {
+ public:
+  virtual ~Replica() = default;
+
+  virtual void start() = 0;
+  /// Stops all threads; idempotent. Statistics remain readable.
+  virtual void stop() = 0;
+  virtual ReplicaStats stats() const = 0;
+  virtual ReplicaId id() const = 0;
+};
+
+}  // namespace copbft::core

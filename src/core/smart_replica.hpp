@@ -1,0 +1,105 @@
+// BFT-SMaRt-like baseline replica (paper §5 "BFT-SMaRt"/"BFT-SMaRt*").
+//
+// Architecture, following the paper's characterization:
+//   * single-instance protocol logic — one consensus at a time; throughput
+//     scales only through batching (§3.2, §5.1);
+//   * out-of-order verification — a pool of worker threads fully verifies
+//     *every* incoming message (including redundant votes) before the
+//     logic sees it;
+//   * outgoing authentication in the worker pool as well;
+//   * the '*' variant uses one lane per network adapter, used alternately
+//     (the paper's modification, §5 "The Subjects").
+#pragma once
+
+#include <atomic>
+
+#include "core/pillar.hpp"
+#include "core/replica.hpp"
+
+namespace copbft::core {
+
+class SmartReplica final : public Replica {
+ public:
+  /// `lanes` > 1 selects the BFT-SMaRt* multi-connection variant. The
+  /// caller must set config.protocol.max_active_proposals = 1.
+  SmartReplica(ReplicaId self, ReplicaRuntimeConfig config,
+               std::unique_ptr<app::Service> service,
+               const crypto::CryptoProvider& crypto,
+               transport::Transport& transport, std::uint32_t lanes = 1);
+
+  void start() override;
+  void stop() override;
+  ReplicaStats stats() const override;
+  ReplicaId id() const override { return self_; }
+
+  /// Verifications performed by the out-of-order pool (for comparing
+  /// against COP/TOP's in-order counts).
+  std::uint64_t pool_verifications() const {
+    return pool_verifications_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Out-of-order verification pool: every frame is decoded and fully
+  /// authenticated here, needed or not.
+  class VerifyPool final : public transport::FrameSink {
+   public:
+    VerifyPool(SmartReplica& owner, std::uint32_t threads,
+               std::size_t capacity)
+        : owner_(owner), threads_count_(threads), queue_(capacity) {}
+
+    bool deliver(transport::ReceivedFrame frame) override {
+      return queue_.push(std::move(frame));
+    }
+    void close() override { queue_.close(); }
+
+    void start();
+    void stop();
+
+   private:
+    void run();
+
+    SmartReplica& owner_;
+    std::uint32_t threads_count_;
+    BoundedQueue<transport::ReceivedFrame> queue_;
+    std::vector<std::jthread> threads_;
+  };
+
+  /// Round-robin lane rotation for the '*' variant.
+  class RotatingOutbound final : public OutboundSink {
+   public:
+    RotatingOutbound(AuthPoolOutbound& inner, std::uint32_t lanes)
+        : inner_(inner), lanes_(lanes) {}
+
+    void broadcast(protocol::Message msg, transport::LaneId) override {
+      inner_.broadcast(std::move(msg), next_lane());
+    }
+    void send_to(ReplicaId to, protocol::Message msg,
+                 transport::LaneId) override {
+      inner_.send_to(to, std::move(msg), next_lane());
+    }
+
+   private:
+    transport::LaneId next_lane() {
+      return lanes_ <= 1 ? 0 : counter_.fetch_add(1) % lanes_;
+    }
+
+    AuthPoolOutbound& inner_;
+    const std::uint32_t lanes_;
+    std::atomic<std::uint32_t> counter_{0};
+  };
+
+  const ReplicaId self_;
+  const ReplicaRuntimeConfig config_;
+  const std::uint32_t lanes_;
+  std::unique_ptr<app::Service> service_;
+  protocol::CryptoVerifier pool_verifier_;
+  AuthPoolOutbound auth_pool_;
+  RotatingOutbound outbound_;
+  ExecutionStage exec_;
+  std::shared_ptr<Pillar> logic_;
+  std::shared_ptr<VerifyPool> verify_pool_;
+  std::atomic<std::uint64_t> pool_verifications_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace copbft::core

@@ -1,0 +1,29 @@
+#include "crypto/authenticator.hpp"
+
+namespace copbft::crypto {
+
+Authenticator Authenticator::build(const CryptoProvider& crypto,
+                                   KeyNodeId sender,
+                                   const std::vector<KeyNodeId>& recipients,
+                                   ByteSpan data) {
+  Authenticator auth;
+  auth.entries.reserve(recipients.size());
+  for (KeyNodeId r : recipients)
+    auth.entries.push_back({r, crypto.mac(sender, r, data)});
+  return auth;
+}
+
+bool Authenticator::verify(const CryptoProvider& crypto, KeyNodeId sender,
+                           KeyNodeId self, ByteSpan data) const {
+  for (const auto& entry : entries) {
+    if (entry.recipient == self)
+      return crypto.verify_mac(sender, self, data, entry.mac);
+  }
+  return false;
+}
+
+std::size_t Authenticator::wire_size() const {
+  return 2 + entries.size() * (sizeof(KeyNodeId) + sizeof(Mac::bytes));
+}
+
+}  // namespace copbft::crypto

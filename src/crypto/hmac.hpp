@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104), built on our SHA-256.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/sha256.hpp"
+
+namespace copbft::crypto {
+
+/// Symmetric key used for pairwise message authentication.
+struct SymmetricKey {
+  std::array<Byte, 32> bytes{};
+
+  bool operator==(const SymmetricKey&) const = default;
+  ByteSpan span() const { return {bytes.data(), bytes.size()}; }
+};
+
+/// One-shot HMAC-SHA256 of `data` under `key`.
+Digest hmac_sha256(const SymmetricKey& key, ByteSpan data);
+
+/// HMAC truncated to a 128-bit MAC (the form carried in authenticators).
+Mac hmac_mac(const SymmetricKey& key, ByteSpan data);
+
+/// Constant-time MAC comparison.
+bool mac_equal(const Mac& a, const Mac& b);
+
+}  // namespace copbft::crypto

@@ -1,0 +1,28 @@
+#include "crypto/key_store.hpp"
+
+namespace copbft::crypto {
+
+SymmetricKey KeyStore::key_for(KeyNodeId a, KeyNodeId b) const {
+  if (a > b) std::swap(a, b);
+  Byte info[2 * sizeof(KeyNodeId) + 4] = {'p', 'a', 'i', 'r'};
+  for (int i = 0; i < 4; ++i) {
+    info[4 + i] = static_cast<Byte>(a >> (8 * i));
+    info[8 + i] = static_cast<Byte>(b >> (8 * i));
+  }
+  Digest d = hmac_sha256(master_, ByteSpan{info, sizeof info});
+  SymmetricKey key;
+  key.bytes = d.bytes;
+  return key;
+}
+
+SymmetricKey master_key_from_seed(std::uint64_t seed) {
+  Byte raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<Byte>(seed >> (8 * i));
+  SymmetricKey zero{};
+  Digest d = hmac_sha256(zero, ByteSpan{raw, sizeof raw});
+  SymmetricKey key;
+  key.bytes = d.bytes;
+  return key;
+}
+
+}  // namespace copbft::crypto

@@ -1,0 +1,34 @@
+// Pairwise symmetric session keys between nodes (replicas and clients).
+//
+// In a deployment these keys would be negotiated via a handshake; here they
+// are derived deterministically from a cluster master secret, which gives
+// every node the same view of the pairwise keys without extra protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hmac.hpp"
+
+namespace copbft::crypto {
+
+/// Node identifier in the key space. Replica and client ids live in the
+/// same namespace (see protocol/types.hpp for the partitioning convention).
+using KeyNodeId = std::uint32_t;
+
+class KeyStore {
+ public:
+  /// `master` seeds the whole cluster's pairwise keys.
+  explicit KeyStore(const SymmetricKey& master) : master_(master) {}
+
+  /// Deterministic key for the unordered pair {a, b}; key_for(a,b) ==
+  /// key_for(b,a).
+  SymmetricKey key_for(KeyNodeId a, KeyNodeId b) const;
+
+ private:
+  SymmetricKey master_;
+};
+
+/// Convenience: derives a master key from a seed value (tests, examples).
+SymmetricKey master_key_from_seed(std::uint64_t seed);
+
+}  // namespace copbft::crypto

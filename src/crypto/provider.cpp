@@ -1,0 +1,71 @@
+#include "crypto/provider.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace copbft::crypto {
+namespace {
+
+// FNV-1a 64-bit, widened to fill the digest; NOT cryptographic, used only by
+// NullCrypto where adversarial inputs are out of scope.
+std::uint64_t fnv1a(ByteSpan data, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (Byte b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Digest RealCrypto::digest(ByteSpan data) const { return Sha256::hash(data); }
+
+Mac RealCrypto::mac(KeyNodeId sender, KeyNodeId receiver,
+                    ByteSpan data) const {
+  return hmac_mac(keys_.key_for(sender, receiver), data);
+}
+
+Digest NullCrypto::digest(ByteSpan data) const {
+  std::uint64_t h0 = fnv1a(data, 0);
+  Digest out;
+  for (int w = 0; w < 4; ++w) {
+    std::uint64_t h = mix(h0 + static_cast<std::uint64_t>(w));
+    for (int i = 0; i < 8; ++i)
+      out.bytes[static_cast<std::size_t>(8 * w + i)] =
+          static_cast<Byte>(h >> (8 * i));
+  }
+  return out;
+}
+
+Mac NullCrypto::mac(KeyNodeId sender, KeyNodeId receiver,
+                    ByteSpan data) const {
+  std::uint64_t pair = (std::uint64_t{sender} << 32) | receiver;
+  std::uint64_t h0 = mix(fnv1a(data, pair));
+  std::uint64_t h1 = mix(h0);
+  Mac out;
+  for (int i = 0; i < 8; ++i) {
+    out.bytes[static_cast<std::size_t>(i)] = static_cast<Byte>(h0 >> (8 * i));
+    out.bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<Byte>(h1 >> (8 * i));
+  }
+  return out;
+}
+
+std::unique_ptr<CryptoProvider> make_real_crypto(std::uint64_t seed) {
+  return std::make_unique<RealCrypto>(KeyStore(master_key_from_seed(seed)));
+}
+
+std::unique_ptr<CryptoProvider> make_null_crypto() {
+  return std::make_unique<NullCrypto>();
+}
+
+}  // namespace copbft::crypto

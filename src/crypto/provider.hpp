@@ -1,0 +1,58 @@
+// CryptoProvider — the seam between protocol logic and cryptography.
+//
+// Two implementations:
+//  * RealCrypto  — SHA-256 / HMAC-SHA256 over the cluster KeyStore; used by
+//    the threaded runtime, integration tests and examples.
+//  * NullCrypto  — cheap non-cryptographic stand-ins with identical
+//    semantics (equal inputs -> equal digests/MACs, unequal inputs almost
+//    surely differ); used by the simulator, where CPU cost is accounted by
+//    the cost model instead of burned for real, and by fast unit tests.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/key_store.hpp"
+
+namespace copbft::crypto {
+
+class CryptoProvider {
+ public:
+  virtual ~CryptoProvider() = default;
+
+  /// Content digest used for request/batch/state identity.
+  virtual Digest digest(ByteSpan data) const = 0;
+
+  /// MAC over `data` for the directed pair sender -> receiver.
+  virtual Mac mac(KeyNodeId sender, KeyNodeId receiver,
+                  ByteSpan data) const = 0;
+
+  virtual bool verify_mac(KeyNodeId sender, KeyNodeId receiver, ByteSpan data,
+                          const Mac& candidate) const {
+    return mac_equal(mac(sender, receiver, data), candidate);
+  }
+};
+
+class RealCrypto final : public CryptoProvider {
+ public:
+  explicit RealCrypto(KeyStore keys) : keys_(std::move(keys)) {}
+
+  Digest digest(ByteSpan data) const override;
+  Mac mac(KeyNodeId sender, KeyNodeId receiver, ByteSpan data) const override;
+
+ private:
+  KeyStore keys_;
+};
+
+class NullCrypto final : public CryptoProvider {
+ public:
+  Digest digest(ByteSpan data) const override;
+  Mac mac(KeyNodeId sender, KeyNodeId receiver, ByteSpan data) const override;
+};
+
+/// RealCrypto over a key store seeded from `seed`.
+std::unique_ptr<CryptoProvider> make_real_crypto(std::uint64_t seed);
+std::unique_ptr<CryptoProvider> make_null_crypto();
+
+}  // namespace copbft::crypto

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch; incremental interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace copbft::crypto {
+
+/// Incremental SHA-256 context.
+///
+///   Sha256 ctx;
+///   ctx.update(a); ctx.update(b);
+///   Digest d = ctx.finish();
+///
+/// finish() may be called once; reset() re-initializes for reuse.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteSpan data);
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(ByteSpan data) {
+    Sha256 ctx;
+    ctx.update(data);
+    return ctx.finish();
+  }
+
+ private:
+  void compress(const Byte block[64]);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_bytes_;
+  Byte buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace copbft::crypto

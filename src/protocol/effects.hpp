@@ -1,0 +1,55 @@
+// Effects emitted by the sans-IO protocol core.
+//
+// The core never touches threads, sockets or clocks; it appends effects to
+// an internal buffer that the host (COP pillar, TOP/SMaRt logic stage, or
+// the simulator) drains via take_effects(). Outbound messages carry *no*
+// authenticator yet — where outgoing MACs are computed (in-place vs. in
+// dedicated authentication threads) is exactly one of the architectural
+// choices the paper compares, so it belongs to the host.
+#pragma once
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "protocol/messages.hpp"
+
+namespace copbft::protocol {
+
+/// Send one protocol message to a single replica.
+struct SendTo {
+  ReplicaId to = 0;
+  Message msg;
+};
+
+/// Send one protocol message to every other replica.
+struct Broadcast {
+  Message msg;
+};
+
+/// A consensus instance committed: `requests` hold the agreed batch (empty
+/// for a no-op instance). Instances may complete out of order; the
+/// execution stage enforces the total order by `seq`.
+struct Deliver {
+  SeqNum seq = 0;
+  ViewId view = 0;
+  std::shared_ptr<const std::vector<Request>> requests;
+};
+
+/// A checkpoint gathered a stable certificate (2f+1 matching votes).
+/// Emitted only by the core that ran the agreement; the host propagates
+/// stability to its sibling pillars (paper §4.2.2).
+struct CheckpointStable {
+  SeqNum seq = 0;
+  crypto::Digest digest;
+};
+
+/// The core moved to a new view (after a completed view change).
+struct ViewChanged {
+  ViewId view = 0;
+};
+
+using Effect =
+    std::variant<SendTo, Broadcast, Deliver, CheckpointStable, ViewChanged>;
+
+}  // namespace copbft::protocol

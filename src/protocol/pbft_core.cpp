@@ -1,0 +1,798 @@
+#include "protocol/pbft_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace copbft::protocol {
+
+PbftCore::PbftCore(ProtocolConfig config, ReplicaId self, SeqSlice slice,
+                   MessageVerifier& verifier,
+                   const crypto::CryptoProvider& crypto)
+    : config_(config),
+      self_(self),
+      slice_(slice),
+      verifier_(verifier),
+      crypto_(crypto) {
+  config_.validate();
+  // Sequence number 0 is the genesis marker; real instances start at 1.
+  // A slice's first proposable member is its smallest member > 0.
+  next_index_ = (slice_.offset == 0) ? 1 : 0;
+}
+
+// --------------------------------------------------------------------------
+// verification helpers
+
+bool PbftCore::verify_now(const IncomingMessage& im,
+                          crypto::KeyNodeId sender) {
+  if (im.pre_verified) {
+    ++stats_.pre_verified;
+    return true;
+  }
+  ++stats_.macs_verified;
+  return verifier_.verify(im, sender);
+}
+
+bool PbftCore::verify_request_now(const Request& req) {
+  if (verified_keys_.contains(req.key())) {
+    ++stats_.request_verifications_skipped;
+    return true;
+  }
+  ++stats_.request_macs_verified;
+  if (!verifier_.verify_request(req)) return false;
+  verified_keys_.insert(req.key());
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// inputs
+
+void PbftCore::on_request(Request req, std::uint64_t now_us, bool verified) {
+  now_us_ = now_us;
+  std::uint64_t key = req.key();
+  if (pending_keys_.contains(key) || ordered_keys_.contains(key)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (verified) {
+    verified_keys_.insert(key);
+  } else if (!verify_request_now(req)) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  // Arrival starts the progress timer if we were idle.
+  if (!has_outstanding_work()) note_progress();
+  pending_keys_.insert(key);
+  pending_.push_back(std::move(req));
+  maybe_propose();
+}
+
+void PbftCore::on_message(IncomingMessage im, std::uint64_t now_us) {
+  now_us_ = now_us;
+  switch (type_of(im.msg)) {
+    case MsgType::kPrePrepare:
+      handle_pre_prepare(std::move(im));
+      break;
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+      handle_vote(std::move(im));
+      break;
+    case MsgType::kCheckpoint:
+      handle_checkpoint(std::move(im));
+      break;
+    case MsgType::kViewChange:
+      handle_view_change(std::move(im));
+      break;
+    case MsgType::kNewView:
+      handle_new_view(std::move(im));
+      break;
+    case MsgType::kFetch:
+      handle_fetch(std::move(im));
+      break;
+    default:
+      // Requests enter via on_request; replies never reach a core.
+      ++stats_.invalid_dropped;
+      break;
+  }
+}
+
+// --------------------------------------------------------------------------
+// normal case: pre-prepare
+
+void PbftCore::handle_pre_prepare(IncomingMessage im) {
+  const PrePrepare& pp = std::get<PrePrepare>(im.msg);
+  if (view_changing_ || pp.view != view_ || !slice_.contains(pp.seq) ||
+      !in_window(pp.seq)) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  ReplicaId proposer = config_.leader_for(pp.view, pp.seq);
+  if (proposer == self_) {
+    // Someone echoing our own proposal (or forging); never needed.
+    ++stats_.verifications_skipped;
+    return;
+  }
+  Instance& inst = instance_at(pp.seq);
+  if (inst.have_pre_prepare) {
+    // Already have a proposal for this (view, seq); a conflicting one can
+    // only come from a faulty leader and a matching one is redundant.
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!verify_now(im, replica_node(proposer))) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  if (!accept_pre_prepare(pp, proposer, im.pre_verified)) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+
+  // Follower: vote.
+  Instance& accepted = instances_.at(pp.seq);
+  if (!accepted.sent_prepare) {
+    accepted.sent_prepare = true;
+    Prepare prep{pp.view, pp.seq, accepted.digest, self_, {}};
+    accepted.prepares.insert(self_);
+    emit(Broadcast{prep});
+  }
+  process_deferred(accepted);
+  evaluate(accepted);
+  // Under leader rotation, accepting this slot may make the next slot —
+  // ours — proposable.
+  maybe_propose();
+}
+
+bool PbftCore::accept_pre_prepare(const PrePrepare& pp, ReplicaId proposer,
+                                  bool nested_pre_verified) {
+  // Content integrity: digest must cover the carried batch.
+  if (batch_digest(crypto_, pp.requests) != pp.digest) return false;
+  // Client authentication of every carried request (skipped for requests
+  // this replica already verified on direct receipt, and for hosts that
+  // verified the whole frame out of order).
+  if (!nested_pre_verified) {
+    for (const Request& req : pp.requests)
+      if (!verify_request_now(req)) return false;
+  }
+
+  Instance& inst = instance_at(pp.seq);
+  inst.view = pp.view;
+  inst.proposer = proposer;
+  inst.have_pre_prepare = true;
+  inst.digest = pp.digest;
+  inst.requests = std::make_shared<const std::vector<Request>>(pp.requests);
+  inst.last_activity_us = now_us_;
+
+  // These requests now have a place in the total order; drop our pending
+  // copies and remember them as ordered.
+  for (const Request& req : pp.requests) {
+    ordered_keys_.insert(req.key());
+    pending_keys_.erase(req.key());
+  }
+  if (!pending_.empty()) {
+    std::erase_if(pending_, [&](const Request& r) {
+      return ordered_keys_.contains(r.key());
+    });
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// normal case: prepare / commit votes
+
+namespace {
+
+struct VoteView {
+  MsgType type;
+  ViewId view;
+  SeqNum seq;
+  crypto::Digest digest;
+  ReplicaId replica;
+};
+
+VoteView vote_view(const Message& msg) {
+  if (const auto* p = std::get_if<Prepare>(&msg))
+    return {MsgType::kPrepare, p->view, p->seq, p->digest, p->replica};
+  const auto& c = std::get<Commit>(msg);
+  return {MsgType::kCommit, c.view, c.seq, c.digest, c.replica};
+}
+
+}  // namespace
+
+void PbftCore::handle_vote(IncomingMessage im) {
+  VoteView v = vote_view(im.msg);
+  if (view_changing_ || v.view != view_ || !slice_.contains(v.seq) ||
+      !in_window(v.seq) || v.replica == self_ ||
+      v.replica >= config_.num_replicas) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  Instance& inst = instance_at(v.seq);
+  if (inst.delivered) {
+    // A vote for an instance we already completed signals a lagging peer
+    // (e.g. it lost our commit): help it with a rate-limited re-send.
+    if (config_.retransmit_interval_us != 0 && inst.sent_commit &&
+        now_us_ >= inst.last_activity_us + config_.retransmit_interval_us) {
+      inst.last_activity_us = now_us_;
+      emit(SendTo{v.replica, Commit{inst.view, v.seq, inst.digest, self_, {}}});
+    }
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!inst.have_pre_prepare) {
+    // Cannot judge relevance yet (digest unknown): defer, verify later and
+    // only if still needed. Bounded: at most ~2 messages per peer.
+    if (inst.deferred.size() < 4 * config_.num_replicas)
+      inst.deferred.push_back(std::move(im));
+    return;
+  }
+  if (v.digest != inst.digest) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+
+  // In-order verification: count only if this vote can still contribute.
+  bool needed = (v.type == MsgType::kPrepare)
+                    ? (!inst.prepared && v.replica != inst.proposer &&
+                       !inst.prepares.contains(v.replica))
+                    : (!inst.committed && !inst.commits.contains(v.replica));
+  if (!needed) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!verify_now(im, replica_node(v.replica))) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  count_vote(inst, v.type, v.replica, v.digest);
+  evaluate(inst);
+}
+
+void PbftCore::count_vote(Instance& inst, MsgType type, ReplicaId from,
+                          const crypto::Digest& digest) {
+  if (digest != inst.digest) return;
+  inst.last_activity_us = now_us_;
+  if (type == MsgType::kPrepare) {
+    if (from != inst.proposer) inst.prepares.insert(from);
+  } else {
+    inst.commits.insert(from);
+  }
+}
+
+void PbftCore::process_deferred(Instance& inst) {
+  std::vector<IncomingMessage> deferred;
+  deferred.swap(inst.deferred);
+  for (auto& im : deferred) {
+    VoteView v = vote_view(im.msg);
+    if (v.view != inst.view) {
+      ++stats_.verifications_skipped;
+      continue;
+    }
+    bool needed = (v.type == MsgType::kPrepare)
+                      ? (!inst.prepared && v.replica != inst.proposer &&
+                         !inst.prepares.contains(v.replica))
+                      : (!inst.committed && !inst.commits.contains(v.replica));
+    if (!needed || v.digest != inst.digest) {
+      ++stats_.verifications_skipped;
+      continue;
+    }
+    if (!verify_now(im, replica_node(v.replica))) {
+      ++stats_.invalid_dropped;
+      continue;
+    }
+    count_vote(inst, v.type, v.replica, v.digest);
+    evaluate(inst);
+  }
+}
+
+void PbftCore::evaluate(Instance& inst) {
+  if (!inst.have_pre_prepare) return;
+  const std::uint32_t two_f = 2 * config_.max_faulty;
+
+  if (!inst.prepared && inst.prepares.size() >= two_f) {
+    inst.prepared = true;
+    if (!inst.sent_commit) {
+      inst.sent_commit = true;
+      Commit commit{inst.view, inst.seq, inst.digest, self_, {}};
+      inst.commits.insert(self_);
+      emit(Broadcast{commit});
+    }
+  }
+  if (inst.prepared && !inst.committed &&
+      inst.commits.size() >= config_.quorum()) {
+    inst.committed = true;
+    deliver(inst);
+  }
+}
+
+void PbftCore::deliver(Instance& inst) {
+  if (inst.delivered) return;
+  inst.delivered = true;
+  note_progress();
+  ++stats_.instances_delivered;
+  stats_.requests_delivered += inst.requests ? inst.requests->size() : 0;
+  for (const Request& req : *inst.requests) verified_keys_.erase(req.key());
+  emit(Deliver{inst.seq, inst.view, inst.requests});
+  // A finished own proposal may free a slot under max_active_proposals.
+  maybe_propose();
+}
+
+PbftCore::Instance& PbftCore::instance_at(SeqNum seq) {
+  auto [it, inserted] = instances_.try_emplace(seq);
+  if (inserted) {
+    it->second.seq = seq;
+    it->second.view = view_;
+    it->second.proposer = config_.leader_for(view_, seq);
+    it->second.last_activity_us = now_us_;
+  }
+  return it->second;
+}
+
+// --------------------------------------------------------------------------
+// proposing
+
+std::size_t PbftCore::own_active_proposals() const {
+  std::size_t active = 0;
+  for (const auto& [seq, inst] : instances_) {
+    if (inst.have_pre_prepare && inst.proposer == self_ && !inst.delivered)
+      ++active;
+  }
+  return active;
+}
+
+/// Advances the proposal index past every slot that already has an
+/// accepted proposal (ours or, under rotation, a peer's). Never skips an
+/// empty slot: jumping over one would leave a hole only its leader could
+/// fill but whose index we would have abandoned.
+void PbftCore::advance_next_index() {
+  while (true) {
+    auto it = instances_.find(slice_.at(next_index_));
+    if (it == instances_.end() || !it->second.have_pre_prepare) return;
+    ++next_index_;
+  }
+}
+
+void PbftCore::maybe_propose() {
+  if (view_changing_) return;
+  while (!pending_.empty()) {
+    advance_next_index();
+    SeqNum seq = slice_.at(next_index_);
+    if (config_.leader_for(view_, seq) != self_) return;
+    if (!in_window(seq)) return;
+    if (config_.max_active_proposals != 0 &&
+        own_active_proposals() >= config_.max_active_proposals)
+      return;
+    std::uint32_t limit = config_.batching ? config_.max_batch : 1;
+    std::vector<Request> batch = collect_batch(limit);
+    if (batch.empty()) return;
+    propose_batch(std::move(batch));
+  }
+}
+
+std::vector<Request> PbftCore::collect_batch(std::uint32_t limit) {
+  std::vector<Request> batch;
+  while (batch.size() < limit && !pending_.empty()) {
+    Request req = std::move(pending_.front());
+    pending_.pop_front();
+    pending_keys_.erase(req.key());
+    if (ordered_keys_.contains(req.key())) {
+      ++stats_.duplicates_dropped;
+      continue;
+    }
+    batch.push_back(std::move(req));
+  }
+  return batch;
+}
+
+void PbftCore::propose_batch(std::vector<Request> batch) {
+  SeqNum seq = slice_.at(next_index_);
+  ++next_index_;
+  ++stats_.proposals;
+  if (batch.empty()) ++stats_.noop_proposals;
+  stats_.requests_proposed += batch.size();
+
+  PrePrepare pp;
+  pp.view = view_;
+  pp.seq = seq;
+  pp.digest = batch_digest(crypto_, batch);
+  pp.requests = std::move(batch);
+
+  Instance& inst = instance_at(seq);
+  inst.view = view_;
+  inst.proposer = self_;
+  inst.have_pre_prepare = true;
+  inst.digest = pp.digest;
+  inst.requests =
+      std::make_shared<const std::vector<Request>>(pp.requests);
+  for (const Request& req : *inst.requests) ordered_keys_.insert(req.key());
+
+  emit(Broadcast{std::move(pp)});
+  process_deferred(inst);
+  evaluate(inst);
+}
+
+void PbftCore::fill_gap_upto(SeqNum seq, std::uint64_t now_us) {
+  now_us_ = now_us;
+  if (view_changing_) return;
+  SeqNum target = std::min(seq, stable_seq_ + config_.window);
+  while (true) {
+    advance_next_index();
+    SeqNum next = slice_.at(next_index_);
+    if (next > target) return;
+    if (config_.leader_for(view_, next) != self_) {
+      // Not ours to fill, and we must not jump over it: the leading
+      // replica's execution stage observes the same gap and fills it.
+      return;
+    }
+    std::vector<Request> batch =
+        collect_batch(config_.batching ? config_.max_batch : 1);
+    propose_batch(std::move(batch));  // empty batch => no-op instance
+  }
+}
+
+// --------------------------------------------------------------------------
+// checkpoints
+
+void PbftCore::start_checkpoint(SeqNum seq, const crypto::Digest& digest,
+                                std::uint64_t now_us) {
+  now_us_ = now_us;
+  if (seq <= stable_seq_) return;
+  CheckpointState& state = checkpoints_[seq];
+  if (state.have_own) return;
+  state.have_own = true;
+  state.last_activity_us = now_us_;
+  state.votes[self_] = digest;
+  emit(Broadcast{CheckpointMsg{seq, digest, self_, {}}});
+  evaluate_checkpoint(seq, state);
+}
+
+void PbftCore::handle_checkpoint(IncomingMessage im) {
+  const CheckpointMsg& cp = std::get<CheckpointMsg>(im.msg);
+  if (cp.seq <= stable_seq_ || cp.replica == self_ ||
+      cp.replica >= config_.num_replicas) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  CheckpointState& state = checkpoints_[cp.seq];
+  if (state.stable || state.votes.contains(cp.replica)) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!verify_now(im, replica_node(cp.replica))) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  state.votes[cp.replica] = cp.digest;
+  state.last_activity_us = now_us_;
+  evaluate_checkpoint(cp.seq, state);
+}
+
+void PbftCore::evaluate_checkpoint(SeqNum seq, CheckpointState& state) {
+  if (state.stable) return;
+  // Count matching digests; stability needs 2f+1 equal votes.
+  std::map<crypto::Digest, std::uint32_t> tally;
+  for (const auto& [replica, digest] : state.votes) ++tally[digest];
+  for (const auto& [digest, count] : tally) {
+    if (count >= config_.quorum()) {
+      state.stable = true;
+      ++stats_.checkpoints_stable;
+      emit(CheckpointStable{seq, digest});
+      make_stable(seq, digest, false);
+      return;
+    }
+  }
+}
+
+void PbftCore::make_stable(SeqNum seq, const crypto::Digest& digest,
+                           bool /*emit_effect*/) {
+  if (seq <= stable_seq_) return;
+  stable_seq_ = seq;
+  stable_digest_ = digest;
+  note_progress();
+
+  // Garbage-collect everything at or below the stable point.
+  for (auto it = instances_.begin();
+       it != instances_.end() && it->first <= seq;) {
+    if (it->second.requests)
+      for (const Request& req : *it->second.requests)
+        ordered_keys_.erase(req.key());
+    it = instances_.erase(it);
+  }
+  for (auto it = checkpoints_.begin();
+       it != checkpoints_.end() && it->first <= seq;)
+    it = checkpoints_.erase(it);
+
+  // Skip over sequence numbers that became stale while we were behind.
+  SeqNum first_free = slice_.next_at_or_after(seq + 1);
+  SeqNum min_index = (first_free - slice_.offset) / slice_.stride;
+  next_index_ = std::max(next_index_, min_index);
+
+  maybe_propose();  // the window slid forward
+}
+
+void PbftCore::note_checkpoint_stable(SeqNum seq,
+                                      const crypto::Digest& digest) {
+  make_stable(seq, digest, false);
+}
+
+// --------------------------------------------------------------------------
+// view change
+
+bool PbftCore::has_outstanding_work() const {
+  if (!pending_.empty()) return true;
+  for (const auto& [seq, inst] : instances_)
+    if (inst.have_pre_prepare && !inst.delivered) return true;
+  return false;
+}
+
+void PbftCore::tick(std::uint64_t now_us) {
+  now_us_ = now_us;
+  if (config_.retransmit_interval_us != 0 && !view_changing_)
+    retransmit_stalled();
+  if (config_.view_change_timeout_us == 0) return;  // disabled
+  if (!has_outstanding_work()) {
+    note_progress();
+    return;
+  }
+  if (now_us_ >= last_progress_us_ + config_.view_change_timeout_us) {
+    ViewId target = view_changing_ ? target_view_ + 1 : view_ + 1;
+    initiate_view_change(target);
+  }
+}
+
+void PbftCore::retransmit_stalled() {
+  const std::uint64_t interval = config_.retransmit_interval_us;
+  for (auto& [seq, inst] : instances_) {
+    if (inst.delivered || !in_window(seq)) continue;
+    if (now_us_ < inst.last_activity_us + interval) continue;
+    inst.last_activity_us = now_us_;
+    if (inst.have_pre_prepare) {
+      if (inst.proposer == self_ && inst.requests) {
+        PrePrepare pp;
+        pp.view = inst.view;
+        pp.seq = seq;
+        pp.digest = inst.digest;
+        pp.requests = *inst.requests;
+        emit(Broadcast{std::move(pp)});
+      }
+      if (inst.sent_prepare)
+        emit(Broadcast{Prepare{inst.view, seq, inst.digest, self_, {}}});
+      if (inst.sent_commit)
+        emit(Broadcast{Commit{inst.view, seq, inst.digest, self_, {}}});
+    } else if (!inst.deferred.empty()) {
+      // Votes arrived but the proposal never did: ask its proposer.
+      emit(SendTo{inst.proposer, Fetch{view_, seq, self_, {}}});
+    }
+  }
+  for (auto& [seq, state] : checkpoints_) {
+    if (state.stable || !state.have_own) continue;
+    if (now_us_ < state.last_activity_us + interval) continue;
+    state.last_activity_us = now_us_;
+    emit(Broadcast{CheckpointMsg{seq, state.votes.at(self_), self_, {}}});
+  }
+}
+
+void PbftCore::handle_fetch(IncomingMessage im) {
+  const Fetch& fetch = std::get<Fetch>(im.msg);
+  if (fetch.replica == self_ || fetch.replica >= config_.num_replicas ||
+      !slice_.contains(fetch.seq)) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  auto it = instances_.find(fetch.seq);
+  if (it == instances_.end() || !it->second.have_pre_prepare ||
+      it->second.proposer != self_ || !it->second.requests) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!verify_now(im, replica_node(fetch.replica))) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  PrePrepare pp;
+  pp.view = it->second.view;
+  pp.seq = fetch.seq;
+  pp.digest = it->second.digest;
+  pp.requests = *it->second.requests;
+  emit(SendTo{fetch.replica, std::move(pp)});
+}
+
+void PbftCore::initiate_view_change(ViewId target) {
+  if (target <= view_) return;
+  if (view_changing_ && target <= target_view_) return;
+  view_changing_ = true;
+  target_view_ = target;
+  note_progress();
+  ++stats_.view_changes_started;
+
+  ViewChange vc;
+  vc.new_view = target;
+  vc.stable_seq = stable_seq_;
+  vc.stable_digest = stable_digest_;
+  vc.replica = self_;
+  for (const auto& [seq, inst] : instances_) {
+    if (!inst.prepared) continue;
+    PreparedProof proof;
+    proof.view = inst.view;
+    proof.seq = seq;
+    proof.digest = inst.digest;
+    proof.requests = *inst.requests;
+    vc.prepared.push_back(std::move(proof));
+  }
+  vc_msgs_[target][self_] = vc;
+  emit(Broadcast{std::move(vc)});
+  evaluate_view_change(target);
+}
+
+void PbftCore::handle_view_change(IncomingMessage im) {
+  const ViewChange& vc = std::get<ViewChange>(im.msg);
+  if (vc.new_view <= view_ || vc.replica == self_ ||
+      vc.replica >= config_.num_replicas) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  auto& votes = vc_msgs_[vc.new_view];
+  if (votes.contains(vc.replica)) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!verify_now(im, replica_node(vc.replica))) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  votes[vc.replica] = vc;
+
+  // Liveness: join a view change supported by >= f+1 others even without a
+  // local timeout (at least one of them is correct).
+  if (!view_changing_ || target_view_ < vc.new_view) {
+    if (votes.size() >= config_.weak_quorum())
+      initiate_view_change(vc.new_view);
+  }
+  evaluate_view_change(vc.new_view);
+}
+
+void PbftCore::evaluate_view_change(ViewId target) {
+  if (coordinator_of(target) != self_) return;
+  if (new_view_sent_.contains(target)) return;
+  auto it = vc_msgs_.find(target);
+  if (it == vc_msgs_.end() || it->second.size() < config_.quorum()) return;
+  new_view_sent_.insert(target);
+  broadcast_new_view(target);
+}
+
+void PbftCore::broadcast_new_view(ViewId target) {
+  const auto& votes = vc_msgs_.at(target);
+
+  // The new starting point is the highest stable checkpoint any quorum
+  // member reported; everything prepared above it is re-proposed, gaps in
+  // this slice become no-ops.
+  SeqNum base = stable_seq_;
+  std::map<SeqNum, const PreparedProof*> best;
+  for (const auto& [replica, vc] : votes) {
+    base = std::max(base, vc.stable_seq);
+    for (const auto& proof : vc.prepared) {
+      auto [bit, inserted] = best.try_emplace(proof.seq, &proof);
+      if (!inserted && proof.view > bit->second->view) bit->second = &proof;
+    }
+  }
+  SeqNum top = base;
+  for (const auto& [seq, proof] : best) top = std::max(top, seq);
+
+  NewView nv;
+  nv.view = target;
+  nv.replica = self_;
+  for (SeqNum seq = slice_.next_at_or_after(base + 1); seq <= top;
+       seq += slice_.stride) {
+    PrePrepare pp;
+    pp.view = target;
+    pp.seq = seq;
+    auto bit = best.find(seq);
+    if (bit != best.end()) {
+      pp.requests = bit->second->requests;
+      pp.digest = bit->second->digest;
+    } else {
+      pp.digest = batch_digest(crypto_, {});
+    }
+    nv.pre_prepares.push_back(std::move(pp));
+  }
+  emit(Broadcast{nv});
+  apply_new_view(nv);
+}
+
+void PbftCore::handle_new_view(IncomingMessage im) {
+  const NewView& nv = std::get<NewView>(im.msg);
+  if (nv.view <= view_ || nv.replica != coordinator_of(nv.view)) {
+    ++stats_.verifications_skipped;
+    return;
+  }
+  if (!verify_now(im, replica_node(nv.replica))) {
+    ++stats_.invalid_dropped;
+    return;
+  }
+  apply_new_view(nv);
+}
+
+void PbftCore::apply_new_view(const NewView& nv) {
+  view_ = nv.view;
+  target_view_ = nv.view;
+  view_changing_ = false;
+  note_progress();
+  ++stats_.view_changes_completed;
+  vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(nv.view));
+  emit(ViewChanged{view_});
+
+  const ReplicaId coordinator = nv.replica;
+  SeqNum top = stable_seq_;
+
+  for (const PrePrepare& pp : nv.pre_prepares) {
+    top = std::max(top, pp.seq);
+    if (pp.seq <= stable_seq_ || !slice_.contains(pp.seq)) continue;
+    Instance& inst = instance_at(pp.seq);
+    if (inst.delivered) {
+      // Already executed here. PBFT safety guarantees any re-proposal
+      // carries the same batch; just refresh the view bookkeeping.
+      inst.view = nv.view;
+      continue;
+    }
+    // (Re-)initialize the instance under the new view's authority.
+    inst.view = nv.view;
+    inst.proposer = coordinator;
+    inst.have_pre_prepare = true;
+    inst.digest = pp.digest;
+    inst.requests = std::make_shared<const std::vector<Request>>(pp.requests);
+    inst.prepares.clear();
+    inst.commits.clear();
+    inst.prepared = false;
+    inst.committed = false;
+    inst.sent_prepare = false;
+    inst.sent_commit = false;
+    inst.deferred.clear();
+
+    for (const Request& req : pp.requests) {
+      ordered_keys_.insert(req.key());
+      pending_keys_.erase(req.key());
+    }
+    if (coordinator != self_) {
+      inst.sent_prepare = true;
+      inst.prepares.insert(self_);
+      emit(Broadcast{Prepare{nv.view, pp.seq, inst.digest, self_, {}}});
+    }
+    evaluate(inst);
+  }
+
+  // Instances above the new-view horizon that were in flight in the old
+  // view are void; their requests go back through the normal path (client
+  // retransmission covers any we did not keep).
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    Instance& inst = it->second;
+    if (inst.seq > top && inst.view < nv.view && !inst.delivered) {
+      it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rebuild_ordered_keys();
+
+  if (!pending_.empty()) {
+    std::erase_if(pending_, [&](const Request& r) {
+      bool dup = ordered_keys_.contains(r.key());
+      if (dup) pending_keys_.erase(r.key());
+      return dup;
+    });
+  }
+
+  SeqNum first_free = slice_.next_at_or_after(top + 1);
+  next_index_ = std::max(next_index_, (first_free - slice_.offset) / slice_.stride);
+  maybe_propose();
+}
+
+void PbftCore::rebuild_ordered_keys() {
+  ordered_keys_.clear();
+  for (const auto& [seq, inst] : instances_) {
+    if (!inst.requests) continue;
+    for (const Request& req : *inst.requests) ordered_keys_.insert(req.key());
+  }
+}
+
+}  // namespace copbft::protocol

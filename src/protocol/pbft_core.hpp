@@ -1,0 +1,256 @@
+// Sans-IO PBFT protocol core.
+//
+// One PbftCore instance drives the consensus protocol for one *slice* of
+// the sequence-number space (offset + stride). A classic replica uses the
+// trivial slice {0,1}; a COP pillar p of NP uses {p, NP}, which realizes
+// the paper's partitioned, multiplied protocol logic (§4.2.1) without any
+// change to the protocol itself.
+//
+// The core is single-threaded by construction: the host serializes all
+// calls. It performs *in-order* verification — messages are verified via
+// the MessageVerifier only at the moment the protocol needs them, so
+// redundant messages (votes beyond quorum, duplicates, stale views) are
+// never verified (§3.2). Hosts with out-of-order verification pre-verify
+// and set IncomingMessage::pre_verified.
+//
+// All outputs are Effects (see effects.hpp); outgoing messages carry no
+// authenticator — the host attaches it (in place, or in auth threads).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "protocol/config.hpp"
+#include "protocol/effects.hpp"
+#include "protocol/verifier.hpp"
+
+namespace copbft::protocol {
+
+/// Counters exposed for tests, ablations and the simulator's cost model.
+struct CoreStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t noop_proposals = 0;
+  std::uint64_t requests_proposed = 0;
+  std::uint64_t instances_delivered = 0;
+  std::uint64_t requests_delivered = 0;
+  /// Replica-message authenticators actually verified.
+  std::uint64_t macs_verified = 0;
+  /// Replica messages consumed without verification because the protocol
+  /// did not need them (the in-order efficiency win) ...
+  std::uint64_t verifications_skipped = 0;
+  /// ... or because the host verified them out-of-order already.
+  std::uint64_t pre_verified = 0;
+  /// Client-request authenticators verified / skipped via the
+  /// verified-request cache.
+  std::uint64_t request_macs_verified = 0;
+  std::uint64_t request_verifications_skipped = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t invalid_dropped = 0;
+  std::uint64_t view_changes_started = 0;
+  std::uint64_t view_changes_completed = 0;
+  std::uint64_t checkpoints_stable = 0;
+
+  CoreStats& operator+=(const CoreStats& other) {
+    proposals += other.proposals;
+    noop_proposals += other.noop_proposals;
+    requests_proposed += other.requests_proposed;
+    instances_delivered += other.instances_delivered;
+    requests_delivered += other.requests_delivered;
+    macs_verified += other.macs_verified;
+    verifications_skipped += other.verifications_skipped;
+    pre_verified += other.pre_verified;
+    request_macs_verified += other.request_macs_verified;
+    request_verifications_skipped += other.request_verifications_skipped;
+    duplicates_dropped += other.duplicates_dropped;
+    invalid_dropped += other.invalid_dropped;
+    view_changes_started += other.view_changes_started;
+    view_changes_completed += other.view_changes_completed;
+    checkpoints_stable += other.checkpoints_stable;
+    return *this;
+  }
+};
+
+class PbftCore {
+ public:
+  PbftCore(ProtocolConfig config, ReplicaId self, SeqSlice slice,
+           MessageVerifier& verifier,
+           const crypto::CryptoProvider& crypto);
+
+  // ---- inputs (host serializes all calls) ------------------------------
+
+  /// Client request from the host's client management. `verified` = the
+  /// host already checked the client MAC; otherwise the core verifies
+  /// in place.
+  void on_request(Request req, std::uint64_t now_us, bool verified = false);
+
+  /// Protocol message from a peer replica.
+  void on_message(IncomingMessage im, std::uint64_t now_us);
+
+  /// Execution stage reached checkpoint sequence `seq` with state digest
+  /// `digest` and this core owns the checkpoint agreement (paper §4.2.2).
+  void start_checkpoint(SeqNum seq, const crypto::Digest& digest,
+                        std::uint64_t now_us);
+
+  /// Stability reached by a sibling pillar's checkpoint agreement;
+  /// truncates the log and slides the window without re-agreeing.
+  void note_checkpoint_stable(SeqNum seq, const crypto::Digest& digest);
+
+  /// Execution stage is starved waiting for sequence numbers of this slice
+  /// up to `seq`; propose pending requests and fill the rest with no-op
+  /// instances if this replica currently leads them (paper §4.2.1).
+  void fill_gap_upto(SeqNum seq, std::uint64_t now_us);
+
+  /// Drives timeouts (view change suspicion). Hosts call this at a coarse
+  /// period; `now_us` is host time (real or simulated).
+  void tick(std::uint64_t now_us);
+
+  // ---- outputs ----------------------------------------------------------
+
+  std::vector<Effect>& effects() { return effects_; }
+  std::vector<Effect> take_effects() {
+    std::vector<Effect> out;
+    out.swap(effects_);
+    return out;
+  }
+
+  // ---- introspection ----------------------------------------------------
+
+  ViewId view() const { return view_; }
+  bool in_view_change() const { return view_changing_; }
+  SeqNum stable_seq() const { return stable_seq_; }
+  /// Next sequence number this core would propose.
+  SeqNum next_proposal_seq() const { return slice_.at(next_index_); }
+  std::size_t pending_requests() const { return pending_.size(); }
+  std::size_t open_instances() const { return instances_.size(); }
+  const CoreStats& stats() const { return stats_; }
+  const ProtocolConfig& config() const { return config_; }
+  ReplicaId self() const { return self_; }
+  const SeqSlice& slice() const { return slice_; }
+
+ private:
+  struct Instance {
+    SeqNum seq = 0;
+    ViewId view = 0;        ///< View the accepted pre-prepare belongs to.
+    ReplicaId proposer = 0; ///< Whose pre-prepare authority; excluded from
+                            ///< the prepare quorum.
+    bool have_pre_prepare = false;
+    crypto::Digest digest;
+    std::shared_ptr<const std::vector<Request>> requests;
+    std::set<ReplicaId> prepares;
+    std::set<ReplicaId> commits;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool prepared = false;
+    bool committed = false;
+    bool delivered = false;
+    /// Last time this instance made progress (for retransmission).
+    std::uint64_t last_activity_us = 0;
+    /// Votes that arrived before the pre-prepare; verified lazily once the
+    /// digest is known.
+    std::vector<IncomingMessage> deferred;
+  };
+
+  struct CheckpointState {
+    std::map<ReplicaId, crypto::Digest> votes;  ///< verified votes
+    std::vector<IncomingMessage> deferred;      ///< not yet needed/verified
+    bool have_own = false;
+    bool stable = false;
+    std::uint64_t last_activity_us = 0;
+  };
+
+  // message handlers
+  void handle_pre_prepare(IncomingMessage im);
+  void handle_vote(IncomingMessage im);  // Prepare / Commit
+  void handle_checkpoint(IncomingMessage im);
+  void handle_view_change(IncomingMessage im);
+  void handle_new_view(IncomingMessage im);
+  void handle_fetch(IncomingMessage im);
+
+  /// Re-emits this replica's messages for instances/checkpoints that made
+  /// no progress for retransmit_interval_us (liveness under loss).
+  void retransmit_stalled();
+
+  // normal-case machinery
+  bool accept_pre_prepare(const PrePrepare& pp, ReplicaId proposer,
+                          bool nested_pre_verified);
+  void count_vote(Instance& inst, MsgType type, ReplicaId from,
+                  const crypto::Digest& digest);
+  void process_deferred(Instance& inst);
+  void evaluate(Instance& inst);
+  void deliver(Instance& inst);
+  Instance& instance_at(SeqNum seq);
+
+  // proposing
+  void advance_next_index();
+  void maybe_propose();
+  void propose_batch(std::vector<Request> batch);
+  std::vector<Request> collect_batch(std::uint32_t limit);
+  std::size_t own_active_proposals() const;
+
+  // checkpoints
+  void evaluate_checkpoint(SeqNum seq, CheckpointState& state);
+  void make_stable(SeqNum seq, const crypto::Digest& digest, bool emit);
+
+  // view change
+  void initiate_view_change(ViewId target);
+  void evaluate_view_change(ViewId target);
+  void broadcast_new_view(ViewId target);
+  void apply_new_view(const NewView& nv);
+  void rebuild_ordered_keys();
+  ReplicaId coordinator_of(ViewId view) const {
+    return static_cast<ReplicaId>(view % config_.num_replicas);
+  }
+
+  // verification helpers (count stats; in-order policy lives here)
+  bool verify_now(const IncomingMessage& im, crypto::KeyNodeId sender);
+  bool verify_request_now(const Request& req);
+
+  bool in_window(SeqNum seq) const {
+    return seq > stable_seq_ && seq <= stable_seq_ + config_.window;
+  }
+  void note_progress() { last_progress_us_ = now_us_; }
+  bool has_outstanding_work() const;
+
+  void emit(Effect e) { effects_.push_back(std::move(e)); }
+
+  const ProtocolConfig config_;
+  const ReplicaId self_;
+  const SeqSlice slice_;
+  MessageVerifier& verifier_;
+  const crypto::CryptoProvider& crypto_;
+
+  ViewId view_ = 0;
+  bool view_changing_ = false;
+  ViewId target_view_ = 0;
+  std::map<ViewId, std::map<ReplicaId, ViewChange>> vc_msgs_;
+  std::set<ViewId> new_view_sent_;
+
+  SeqNum stable_seq_ = 0;  ///< genesis: everything <= 0 is stable
+  crypto::Digest stable_digest_;
+  SeqNum next_index_ = 0;  ///< local instance counter i; seq = slice.at(i)
+
+  std::map<SeqNum, Instance> instances_;
+  std::map<SeqNum, CheckpointState> checkpoints_;
+
+  std::deque<Request> pending_;
+  std::unordered_set<std::uint64_t> pending_keys_;
+  /// Requests already assigned to an instance (pre-prepare seen); prevents
+  /// re-proposing. Cleared per instance at checkpoint GC.
+  std::unordered_set<std::uint64_t> ordered_keys_;
+  /// Requests whose client MAC this replica has already checked (direct
+  /// receipt); lets followers skip re-verifying them inside proposals.
+  std::unordered_set<std::uint64_t> verified_keys_;
+
+  std::uint64_t now_us_ = 0;
+  std::uint64_t last_progress_us_ = 0;
+
+  std::vector<Effect> effects_;
+  CoreStats stats_;
+};
+
+}  // namespace copbft::protocol

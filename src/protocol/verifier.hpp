@@ -1,0 +1,81 @@
+// Message verification seam between the protocol core and its host.
+//
+// The core performs *in-order* verification: it asks the verifier only when
+// a message is actually needed to make progress (paper §3.2). Hosts that
+// implement *out-of-order* verification (the BFT-SMaRt baseline) verify
+// before on_message() and mark the message pre-verified, in which case the
+// core never calls back.
+#pragma once
+
+#include "crypto/provider.hpp"
+#include "protocol/messages.hpp"
+
+namespace copbft::protocol {
+
+/// A message as handed to the core by its host.
+struct IncomingMessage {
+  Message msg;
+  /// Full encoded frame when available (runtime); may be empty when the
+  /// host works with parsed messages only (tests, simulator).
+  Bytes raw;
+  /// Length of the authenticated prefix of `raw`.
+  std::size_t body_size = 0;
+  /// Set by out-of-order hosts: authenticator already checked.
+  bool pre_verified = false;
+};
+
+class MessageVerifier {
+ public:
+  virtual ~MessageVerifier() = default;
+
+  /// Checks the top-level authenticator of `im` against `claimed_sender`.
+  virtual bool verify(const IncomingMessage& im,
+                      crypto::KeyNodeId claimed_sender) = 0;
+
+  /// Checks a client request's authenticator (possibly nested inside a
+  /// proposal, where no raw frame for the request exists).
+  virtual bool verify_request(const Request& req) = 0;
+};
+
+/// Verifier over a CryptoProvider; re-encodes the authenticated part when
+/// no raw frame is available.
+class CryptoVerifier : public MessageVerifier {
+ public:
+  /// `self` is the node id MAC entries are addressed to.
+  CryptoVerifier(const crypto::CryptoProvider& crypto, crypto::KeyNodeId self)
+      : crypto_(crypto), self_(self) {}
+
+  bool verify(const IncomingMessage& im,
+              crypto::KeyNodeId claimed_sender) override {
+    if (claimed_sender == kUnknownNode) return false;
+    const auto& auth = authenticator_of(im.msg);
+    if (!im.raw.empty()) {
+      ByteSpan body{im.raw.data(), im.body_size};
+      return auth.verify(crypto_, claimed_sender, self_, body);
+    }
+    Bytes body = encode_message(im.msg);
+    body.resize(authenticated_size(im.msg));
+    return auth.verify(crypto_, claimed_sender, self_, body);
+  }
+
+  bool verify_request(const Request& req) override {
+    Bytes body = request_authenticated_bytes(req);
+    return req.auth.verify(crypto_, client_node(req.client), self_, body);
+  }
+
+ private:
+  const crypto::CryptoProvider& crypto_;
+  crypto::KeyNodeId self_;
+};
+
+/// Accepts everything; for tests and for simulator configurations where
+/// verification cost is accounted separately.
+class AcceptAllVerifier : public MessageVerifier {
+ public:
+  bool verify(const IncomingMessage&, crypto::KeyNodeId) override {
+    return true;
+  }
+  bool verify_request(const Request&) override { return true; }
+};
+
+}  // namespace copbft::protocol

@@ -1,0 +1,72 @@
+// Discrete-event engine: virtual time in nanoseconds, deterministic
+// ordering (time, then insertion order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace copbft::sim {
+
+using SimTime = std::uint64_t;  ///< virtual nanoseconds
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(SimTime at, Action action) {
+    if (at < now_) at = now_;
+    heap_.push(Event{at, next_id_++, std::move(action)});
+  }
+
+  void schedule_in(SimTime delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  /// Runs one event; false when empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Moving out of a priority_queue top requires const_cast; the element
+    // is popped immediately after, so this is safe.
+    Event& top = const_cast<Event&>(heap_.top());
+    now_ = top.at;
+    Action action = std::move(top.action);
+    heap_.pop();
+    action();
+    return true;
+  }
+
+  /// Runs events until `deadline` (inclusive) or exhaustion.
+  void run_until(SimTime deadline) {
+    while (!heap_.empty() && heap_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t id;
+    Action action;
+
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : id > other.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+constexpr SimTime operator""_us(unsigned long long v) { return v * 1000; }
+constexpr SimTime operator""_ms(unsigned long long v) { return v * 1'000'000; }
+constexpr SimTime operator""_s(unsigned long long v) {
+  return v * 1'000'000'000ULL;
+}
+
+}  // namespace copbft::sim

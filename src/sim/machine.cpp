@@ -1,0 +1,101 @@
+#include "sim/machine.hpp"
+
+#include <cassert>
+
+namespace copbft::sim {
+
+SimThread::SimThread(Machine& machine, std::string name)
+    : machine_(machine), name_(std::move(name)) {}
+
+void SimThread::post(Task task) {
+  tasks_.push_back(std::move(task));
+  if (!running_ && !queued_) machine_.enqueue_runnable(this);
+}
+
+Machine::Machine(EventQueue& events, const CostModel& costs,
+                 std::uint32_t cores, std::string name)
+    : events_(events), costs_(costs), name_(std::move(name)) {
+  cores_busy_.assign(cores, 0);
+  contexts_.reserve(2 * cores);
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    contexts_.push_back(Context{c, false});
+    contexts_.push_back(Context{c, false});
+  }
+}
+
+SimThread& Machine::add_thread(std::string name) {
+  threads_.push_back(std::make_unique<SimThread>(*this, std::move(name)));
+  return *threads_.back();
+}
+
+void Machine::enqueue_runnable(SimThread* thread) {
+  thread->queued_ = true;
+  runnable_.push_back(thread);
+  schedule();
+}
+
+void Machine::schedule() {
+  while (!runnable_.empty()) {
+    // Prefer a context on an idle core (full speed), fall back to the
+    // sibling of a busy one (SMT speed).
+    std::size_t chosen = contexts_.size();
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+      if (contexts_[i].busy) continue;
+      if (cores_busy_[contexts_[i].core] == 0) {
+        chosen = i;
+        break;
+      }
+      if (chosen == contexts_.size()) chosen = i;
+    }
+    if (chosen == contexts_.size()) return;  // everything busy
+
+    SimThread* thread = runnable_.front();
+    runnable_.pop_front();
+    thread->queued_ = false;
+    run_on(thread, chosen);
+  }
+}
+
+void Machine::run_on(SimThread* thread, std::size_t context_index) {
+  Context& ctx = contexts_[context_index];
+  assert(!ctx.busy && !thread->tasks_.empty());
+  ctx.busy = true;
+  ++cores_busy_[ctx.core];
+  thread->running_ = true;
+
+  SimThread::Task task = std::move(thread->tasks_.front());
+  thread->tasks_.pop_front();
+
+  // Execute the handler now; it returns the CPU cost. Speed is fixed at
+  // dispatch: full if this context had the core alone, SMT speed if the
+  // sibling was already busy.
+  double speed = (cores_busy_[ctx.core] > 1) ? costs_.smt_speed : 1.0;
+  // Oversubscription: other threads are waiting for a context, so this
+  // dispatch implies a context switch.
+  bool contended = !runnable_.empty();
+  double cost_ns = task();
+  if (contended) cost_ns += costs_.oversub_switch_ns;
+  thread->busy_ns_ += cost_ns;
+  total_busy_ns_ += cost_ns;
+  SimTime duration = static_cast<SimTime>(cost_ns / speed);
+
+  events_.schedule_in(duration, [this, thread, context_index] {
+    Context& done_ctx = contexts_[context_index];
+    done_ctx.busy = false;
+    --cores_busy_[done_ctx.core];
+    thread->running_ = false;
+    if (!thread->tasks_.empty() && !thread->queued_)
+      enqueue_runnable(thread);
+    else
+      schedule();
+  });
+}
+
+double Machine::utilization(SimTime elapsed) const {
+  if (elapsed == 0) return 0.0;
+  double capacity =
+      static_cast<double>(cores_busy_.size()) * static_cast<double>(elapsed);
+  return total_busy_ns_ / capacity;
+}
+
+}  // namespace copbft::sim

@@ -1,0 +1,102 @@
+// Simulated multi-core machine.
+//
+// A Machine has C cores with two SMT contexts each. SimThreads own FIFO
+// task queues; a global scheduler assigns runnable threads to free
+// contexts. A context whose core sibling is busy runs at CostModel::
+// smt_speed — this reproduces the paper's "N cores with 2 hardware
+// threads each" x-axis (§5.1) including the sub-linear SMT yield.
+//
+// Tasks are handler invocations: the handler runs instantly (mutating
+// simulation state) and *returns its CPU cost in ns*; the context stays
+// busy for cost/speed of virtual time before the thread takes its next
+// task. Cross-thread communication is post()ing a task to another thread,
+// optionally charging the hand-off cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace copbft::sim {
+
+class Machine;
+
+/// A software thread pinned to a machine (not to a core).
+class SimThread {
+ public:
+  /// Handlers return their CPU cost in nanoseconds.
+  using Task = std::function<double()>;
+
+  SimThread(Machine& machine, std::string name);
+
+  /// Enqueues work; the scheduler will run it when a context frees up.
+  void post(Task task);
+
+  const std::string& name() const { return name_; }
+  std::size_t backlog() const { return tasks_.size(); }
+  /// Accumulated busy nanoseconds (for utilization reports).
+  double busy_ns() const { return busy_ns_; }
+
+ private:
+  friend class Machine;
+
+  Machine& machine_;
+  std::string name_;
+  std::deque<Task> tasks_;
+  bool running_ = false;   ///< currently occupying a context
+  bool queued_ = false;    ///< in the machine's runnable list
+  double busy_ns_ = 0;
+};
+
+class Machine {
+ public:
+  /// `cores` physical cores, each with 2 SMT contexts.
+  Machine(EventQueue& events, const CostModel& costs, std::uint32_t cores,
+          std::string name);
+
+  SimThread& add_thread(std::string name);
+
+  EventQueue& events() { return events_; }
+  const CostModel& costs() const { return costs_; }
+  std::uint32_t cores() const { return static_cast<std::uint32_t>(
+      cores_busy_.size()); }
+  const std::string& name() const { return name_; }
+
+  /// Fraction of total context-time spent busy since construction
+  /// (approximate; for reporting).
+  double utilization(SimTime elapsed) const;
+
+  /// All threads of this machine (diagnostics).
+  const std::vector<std::unique_ptr<SimThread>>& threads() const {
+    return threads_;
+  }
+
+ private:
+  friend class SimThread;
+
+  struct Context {
+    std::uint32_t core;
+    bool busy = false;
+  };
+
+  void enqueue_runnable(SimThread* thread);
+  void schedule();
+  void run_on(SimThread* thread, std::size_t context_index);
+
+  EventQueue& events_;
+  const CostModel& costs_;
+  std::string name_;
+  std::vector<Context> contexts_;
+  std::vector<std::uint32_t> cores_busy_;  ///< busy contexts per core
+  std::deque<SimThread*> runnable_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  double total_busy_ns_ = 0;
+};
+
+}  // namespace copbft::sim

@@ -1,0 +1,117 @@
+// Cluster simulator: runs the COP / TOP / BFT-SMaRt replica architectures
+// over simulated multi-core machines and GbE adapters in virtual time.
+//
+// This is the reproduction vehicle for the paper's evaluation (§5): the
+// host running this repository has a single CPU core, so multi-core
+// scaling is reproduced by simulation. Protocol behaviour is NOT modelled
+// — each simulated logic unit drives a real protocol::PbftCore (the same
+// class the threaded runtime uses); only CPU time and network bytes are
+// accounted through sim::CostModel instead of being burned for real.
+//
+// Setup mirrors §5 "The Setup": 4 replica machines (configurable cores,
+// 2 SMT contexts each, four 1 GbE adapters), 5 client machines, closed-
+// loop clients with bounded asynchronous windows, checkpoints every 1000
+// instances.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "core/runtime_config.hpp"
+#include "protocol/config.hpp"
+#include "protocol/pbft_core.hpp"
+#include "sim/cost_model.hpp"
+
+namespace copbft::sim {
+
+enum class SimArch {
+  kCop,        ///< consensus-oriented parallelization (paper §4)
+  kTop,        ///< task-oriented pipeline, multi-instance, in-order verify
+  kSmart,      ///< BFT-SMaRt-like: single-instance, out-of-order verify
+  kSmartStar,  ///< BFT-SMaRt* : one connection per adapter (paper §5)
+};
+
+const char* arch_name(SimArch arch);
+
+/// Application model executed by the simulated execution stage. Service
+/// *state* is irrelevant for performance; cost and reply size matter.
+enum class SimService {
+  kNull,          ///< microbenchmark service (§5.1/§5.2)
+  kCoordination,  ///< ZooKeeper-like coordination service (§5.3)
+};
+
+struct SimConfig {
+  SimArch arch = SimArch::kCop;
+  SimService service = SimService::kNull;
+  protocol::ProtocolConfig protocol;
+
+  // ---- hardware (per machine) ----
+  std::uint32_t cores = 12;
+  std::uint32_t adapters = 4;
+  std::uint32_t client_machines = 5;
+  /// Client machines keep their full core count when `cores` is swept.
+  std::uint32_t client_cores = 12;
+
+  /// COP pillars; 0 = auto (two per core, the paper's single-core setup
+  /// used two pillars on two hardware threads).
+  std::uint32_t num_pillars = 0;
+  /// TOP/SMaRt auxiliary thread-pool size; 0 = auto.
+  std::uint32_t pool_threads = 0;
+
+  // ---- workload ----
+  std::uint32_t clients = 800;
+  std::uint32_t client_window = 8;
+  std::size_t request_payload = 0;
+  std::size_t reply_payload = 0;
+  /// Coordination service only (§5.3):
+  double read_ratio = 0.0;
+  std::size_t coord_data_size = 128;
+  std::size_t coord_path_size = 12;
+
+  core::ReplyMode reply_mode = core::ReplyMode::kAll;
+
+  // ---- measurement ----
+  SimTime warmup = 300 * 1'000'000ULL;    // 300 ms
+  SimTime measure = 1'000 * 1'000'000ULL; // 1 s
+  std::uint64_t seed = 42;
+
+  CostModel costs;
+
+  /// Resolved pillar count for this configuration.
+  std::uint32_t pillars() const {
+    if (arch != SimArch::kCop) return 1;
+    return num_pillars != 0 ? num_pillars : 2 * cores;
+  }
+  std::uint32_t pool() const {
+    if (pool_threads != 0) return pool_threads;
+    switch (arch) {
+      case SimArch::kTop:
+        return 4;  // the pipeline's additional authentication threads
+      case SimArch::kSmart:
+        return 5;  // the original's fixed worker pool
+      default:
+        return std::max(2u, cores);  // BFT-SMaRt*: workers scale with cores
+    }
+  }
+};
+
+struct SimResult {
+  /// Completed client operations per second (stable f+1 reply quorums).
+  double throughput_ops = 0;
+  /// Client-observed request->stable-result latency.
+  double latency_mean_us = 0;
+  std::uint64_t latency_p50_us = 0;
+  std::uint64_t latency_p99_us = 0;
+  /// Leader (replica 0) egress during the measurement window, MB/s.
+  double leader_tx_mbps = 0;
+  /// Aggregated protocol-core statistics of replica 0.
+  protocol::CoreStats leader_core;
+  std::uint64_t completed_ops = 0;
+  double leader_cpu_utilization = 0;
+  double follower_cpu_utilization = 0;
+  std::uint64_t instances = 0;
+};
+
+SimResult run_simulation(const SimConfig& config);
+
+}  // namespace copbft::sim

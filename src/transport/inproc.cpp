@@ -1,0 +1,56 @@
+#include "transport/inproc.hpp"
+
+namespace copbft::transport {
+
+void InprocTransport::register_sink(LaneId lane,
+                                    std::shared_ptr<FrameSink> sink) {
+  network_.register_sink(self_, lane, std::move(sink));
+}
+
+bool InprocTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
+  return network_.send(self_, to, lane, std::move(frame));
+}
+
+void InprocTransport::shutdown() { network_.shutdown_node(self_); }
+
+InprocTransport& InprocNetwork::endpoint(crypto::KeyNodeId node) {
+  std::lock_guard lock(mutex_);
+  auto& slot = endpoints_[node];
+  if (!slot) slot = std::make_unique<InprocTransport>(*this, node);
+  return *slot;
+}
+
+void InprocNetwork::register_sink(crypto::KeyNodeId node, LaneId lane,
+                                  std::shared_ptr<FrameSink> sink) {
+  std::lock_guard lock(mutex_);
+  sinks_[{node, lane}] = std::move(sink);
+}
+
+bool InprocNetwork::send(crypto::KeyNodeId from, crypto::KeyNodeId to,
+                         LaneId lane, Bytes frame) {
+  std::shared_ptr<FrameSink> sink;
+  {
+    std::lock_guard lock(mutex_);
+    if (filter_ && !filter_(from, to, lane)) return true;
+    auto it = sinks_.find({to, lane});
+    if (it == sinks_.end()) return false;
+    sink = it->second;
+  }
+  // Blocking deliver outside the registry lock: backpressure without
+  // serializing unrelated senders.
+  return sink->deliver(ReceivedFrame{from, lane, std::move(frame)});
+}
+
+void InprocNetwork::shutdown_node(crypto::KeyNodeId node) {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, sink] : sinks_)
+    if (key.first == node && sink) sink->close();
+}
+
+void InprocNetwork::shutdown_all() {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, sink] : sinks_)
+    if (sink) sink->close();
+}
+
+}  // namespace copbft::transport

@@ -1,0 +1,64 @@
+// In-process transport: nodes within one process exchange frames through
+// frame sinks. Used by integration tests, examples and the threaded
+// runtime when a whole cluster is hosted in a single process.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "transport/transport.hpp"
+
+namespace copbft::transport {
+
+class InprocNetwork;
+
+/// Per-node endpoint of an InprocNetwork.
+class InprocTransport final : public Transport {
+ public:
+  InprocTransport(InprocNetwork& network, crypto::KeyNodeId self)
+      : network_(network), self_(self) {}
+
+  void register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) override;
+  bool send(crypto::KeyNodeId to, LaneId lane, Bytes frame) override;
+  void shutdown() override;
+
+  crypto::KeyNodeId self() const { return self_; }
+
+ private:
+  InprocNetwork& network_;
+  crypto::KeyNodeId self_;
+};
+
+/// The shared fabric: routes frames to the destination node's lane sink.
+/// Optionally drops frames via a fault-injection hook (tests).
+class InprocNetwork {
+ public:
+  /// Creates (or returns) the endpoint for `node`.
+  InprocTransport& endpoint(crypto::KeyNodeId node);
+
+  /// Fault injection: frames for which the filter returns false are
+  /// silently dropped (as a lossy network would).
+  using DeliverFilter = std::function<bool(
+      crypto::KeyNodeId from, crypto::KeyNodeId to, LaneId lane)>;
+  void set_filter(DeliverFilter filter) {
+    std::lock_guard lock(mutex_);
+    filter_ = std::move(filter);
+  }
+
+  void register_sink(crypto::KeyNodeId node, LaneId lane,
+                     std::shared_ptr<FrameSink> sink);
+  bool send(crypto::KeyNodeId from, crypto::KeyNodeId to, LaneId lane,
+            Bytes frame);
+  void shutdown_node(crypto::KeyNodeId node);
+  void shutdown_all();
+
+ private:
+  std::mutex mutex_;
+  std::map<crypto::KeyNodeId, std::unique_ptr<InprocTransport>> endpoints_;
+  std::map<std::pair<crypto::KeyNodeId, LaneId>, std::shared_ptr<FrameSink>>
+      sinks_;
+  DeliverFilter filter_;
+};
+
+}  // namespace copbft::transport

@@ -1,0 +1,199 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/threading.hpp"
+
+namespace copbft::transport {
+namespace {
+
+// Hello header sent once per outgoing connection: sender node id + lane.
+struct Hello {
+  std::uint32_t from;
+  std::uint32_t lane;
+};
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<Byte*>(buf);
+  while (len > 0) {
+    ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+
+}  // namespace
+
+TcpTransport::TcpTransport(crypto::KeyNodeId self, std::uint16_t listen_port,
+                           std::map<crypto::KeyNodeId, TcpPeer> peers)
+    : self_(self), listen_port_(listen_port), peers_(std::move(peers)) {}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+bool TcpTransport::start() {
+  if (listen_port_ == 0) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(listen_port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  accept_thread_ = named_thread("tcp-accept", [this] { accept_loop(); });
+  return true;
+}
+
+void TcpTransport::accept_loop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed during shutdown
+    int yes = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    accepted_fds_.push_back(fd);
+    recv_threads_.emplace_back(
+        named_thread("tcp-recv", [this, fd] { recv_loop(fd); }));
+  }
+}
+
+void TcpTransport::recv_loop(int fd) {
+  Hello hello{};
+  if (!read_exact(fd, &hello, sizeof hello)) {
+    ::close(fd);
+    return;
+  }
+  auto sink = sink_for(hello.lane);
+  if (!sink) {
+    COP_LOG_WARN("node %u: no sink for lane %u", self_, hello.lane);
+    ::close(fd);
+    return;
+  }
+  while (true) {
+    std::uint32_t len = 0;
+    if (!read_exact(fd, &len, sizeof len) || len > kMaxFrame) break;
+    Bytes frame(len);
+    if (len > 0 && !read_exact(fd, frame.data(), len)) break;
+    if (!sink->deliver(ReceivedFrame{hello.from, hello.lane, std::move(frame)}))
+      break;  // sink closed
+  }
+  ::close(fd);
+}
+
+std::shared_ptr<FrameSink> TcpTransport::sink_for(LaneId lane) {
+  std::lock_guard lock(mutex_);
+  auto it = sinks_.find(lane);
+  return it == sinks_.end() ? nullptr : it->second;
+}
+
+void TcpTransport::register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) {
+  std::lock_guard lock(mutex_);
+  sinks_[lane] = std::move(sink);
+}
+
+int TcpTransport::connect_to(const TcpPeer& peer) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int yes = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+  return fd;
+}
+
+bool TcpTransport::write_all(OutConn& conn, const Byte* data,
+                             std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(conn.fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
+  OutConn* conn = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return false;
+    auto& slot = outgoing_[{to, lane}];
+    if (!slot) {
+      auto peer = peers_.find(to);
+      if (peer == peers_.end()) return false;
+      int fd = connect_to(peer->second);
+      if (fd < 0) return false;
+      slot = std::make_unique<OutConn>();
+      slot->fd = fd;
+      Hello hello{self_, lane};
+      if (!write_all(*slot, reinterpret_cast<const Byte*>(&hello),
+                     sizeof hello)) {
+        ::close(fd);
+        outgoing_.erase({to, lane});
+        return false;
+      }
+    }
+    conn = slot.get();
+  }
+
+  // Frame: u32 length (host order is fine: both ends are this code on the
+  // same architecture family; the *protocol* encoding above is explicit).
+  std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  std::lock_guard wlock(conn->write_mutex);
+  return write_all(*conn, reinterpret_cast<const Byte*>(&len), sizeof len) &&
+         write_all(*conn, frame.data(), frame.size());
+}
+
+void TcpTransport::shutdown() {
+  std::vector<std::jthread> recv_threads;
+  std::jthread accept_thread;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& [key, conn] : outgoing_)
+      if (conn && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [lane, sink] : sinks_)
+      if (sink) sink->close();
+    recv_threads.swap(recv_threads_);
+    accept_thread = std::move(accept_thread_);
+  }
+  // jthreads join on destruction here, outside the lock.
+}
+
+}  // namespace copbft::transport

@@ -1,0 +1,71 @@
+// TCP transport: one socket per (peer, lane) and direction.
+//
+// COP's pillars use private lanes, so a 4-replica / 3-pillar cluster runs
+// 3 independent TCP connections per replica pair per direction — the
+// multi-connection setup of paper §4.2.3. Frames are length-prefixed; a
+// small hello header identifies (sender, lane) after connect.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace copbft::transport {
+
+struct TcpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// `self` is this node's id; `listen_port` may be 0 for client nodes
+  /// that only initiate connections; `peers` maps node ids to addresses.
+  TcpTransport(crypto::KeyNodeId self, std::uint16_t listen_port,
+               std::map<crypto::KeyNodeId, TcpPeer> peers);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds and starts the accept loop (no-op for pure-client nodes).
+  /// Returns false if the listen socket could not be created.
+  bool start();
+
+  void register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) override;
+  bool send(crypto::KeyNodeId to, LaneId lane, Bytes frame) override;
+  void shutdown() override;
+
+ private:
+  struct OutConn {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+
+  int connect_to(const TcpPeer& peer);
+  bool write_all(OutConn& conn, const Byte* data, std::size_t len);
+  void accept_loop();
+  void recv_loop(int fd);
+  std::shared_ptr<FrameSink> sink_for(LaneId lane);
+
+  const crypto::KeyNodeId self_;
+  const std::uint16_t listen_port_;
+  const std::map<crypto::KeyNodeId, TcpPeer> peers_;
+
+  std::mutex mutex_;
+  std::map<LaneId, std::shared_ptr<FrameSink>> sinks_;
+  std::map<std::pair<crypto::KeyNodeId, LaneId>, std::unique_ptr<OutConn>>
+      outgoing_;
+  std::vector<std::jthread> recv_threads_;
+  std::vector<int> accepted_fds_;
+  int listen_fd_ = -1;
+  bool stopping_ = false;
+  std::jthread accept_thread_;
+};
+
+}  // namespace copbft::transport

@@ -1,0 +1,71 @@
+// Transport abstraction.
+//
+// A transport moves opaque frames between nodes. Frames are addressed by
+// (node, lane): lanes model the *private connections* of COP pillars
+// (paper §4.2.3) — pillar p of replica A talks to pillar p of replica B on
+// lane p, and each lane can be backed by its own socket / NIC adapter.
+// Delivery is push-based: receivers register one sink per lane.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/queue.hpp"
+#include "crypto/key_store.hpp"
+
+namespace copbft::transport {
+
+using LaneId = std::uint32_t;
+
+struct ReceivedFrame {
+  crypto::KeyNodeId from = 0;
+  LaneId lane = 0;
+  Bytes bytes;
+};
+
+/// Destination of received frames. Implementations are thread-safe;
+/// deliver() may block for backpressure and returns false once closed.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual bool deliver(ReceivedFrame frame) = 0;
+  virtual void close() = 0;
+};
+
+/// FrameSink backed by a bounded queue; the default receiving end for
+/// clients and tests.
+class Inbox final : public FrameSink {
+ public:
+  explicit Inbox(std::size_t capacity = 4096) : queue_(capacity) {}
+
+  bool deliver(ReceivedFrame frame) override {
+    return queue_.push(std::move(frame));
+  }
+  void close() override { queue_.close(); }
+
+  BoundedQueue<ReceivedFrame>& queue() { return queue_; }
+
+ private:
+  BoundedQueue<ReceivedFrame> queue_;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers the receiving sink for `lane`. Must be called before frames
+  /// for that lane arrive; one sink may serve several lanes.
+  virtual void register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) = 0;
+
+  /// Sends a frame to `to` on `lane`. Returns false if the peer is
+  /// unreachable or the transport is shut down. Per (sender, lane) FIFO
+  /// order is preserved; no ordering holds across lanes, which is exactly
+  /// what lets lanes proceed independently (§4.2.3).
+  virtual bool send(crypto::KeyNodeId to, LaneId lane, Bytes frame) = 0;
+
+  /// Stops background activity and closes registered sinks.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace copbft::transport

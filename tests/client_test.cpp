@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "client/client.hpp"
+#include "core/outbound.hpp"
+#include "transport/inproc.hpp"
+
+namespace copbft::test {
+namespace {
+
+using namespace copbft::protocol;
+
+/// Harness impersonating the four replicas on an in-process network.
+class ClientHarness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crypto_ = crypto::make_real_crypto(17);
+    for (ReplicaId r = 0; r < 4; ++r) {
+      inboxes_[r] = std::make_shared<transport::Inbox>();
+      network_.endpoint(replica_node(r)).register_sink(0, inboxes_[r]);
+      network_.endpoint(replica_node(r)).register_sink(1, inboxes_[r]);
+    }
+  }
+
+  client::Client& make_client(std::uint32_t window = 8,
+                              std::uint64_t retransmit_us = 100'000) {
+    client::ClientConfig cfg;
+    cfg.id = kClientIdBase;
+    cfg.num_pillars = 2;
+    cfg.window = window;
+    cfg.retransmit_timeout_us = retransmit_us;
+    client_ = std::make_unique<client::Client>(
+        cfg, *crypto_, network_.endpoint(client_node(cfg.id)));
+    client_->start();
+    return *client_;
+  }
+
+  void TearDown() override {
+    if (client_) client_->stop();
+  }
+
+  /// Waits for the request to arrive at replica `r` and returns it.
+  std::optional<Request> recv_request(ReplicaId r) {
+    auto frame = inboxes_[r]->queue().pop_for(std::chrono::microseconds(
+        2'000'000));
+    if (!frame) return std::nullopt;
+    auto decoded = decode_message(frame->bytes);
+    if (!decoded) return std::nullopt;
+    return std::get<Request>(decoded->msg);
+  }
+
+  /// Sends a reply from replica `r`.
+  void send_reply(ReplicaId r, RequestId id, Bytes result) {
+    Message msg = Reply{0, kClientIdBase, id, r, std::move(result), {}};
+    Bytes frame = core::seal_message(msg, *crypto_, replica_node(r),
+                                     {client_node(kClientIdBase)});
+    network_.endpoint(replica_node(r))
+        .send(client_node(kClientIdBase), 0, std::move(frame));
+  }
+
+  std::unique_ptr<crypto::CryptoProvider> crypto_;
+  transport::InprocNetwork network_;
+  std::shared_ptr<transport::Inbox> inboxes_[4];
+  std::unique_ptr<client::Client> client_;
+};
+
+TEST_F(ClientHarness, RequestBroadcastToAllReplicasWithValidMacs) {
+  auto& client = make_client();
+  std::atomic<bool> done{false};
+  client.invoke_async(to_bytes("op"), kFlagReadOnly,
+                      [&](Bytes, std::uint64_t) { done = true; });
+
+  for (ReplicaId r = 0; r < 4; ++r) {
+    auto req = recv_request(r);
+    ASSERT_TRUE(req) << "replica " << r;
+    EXPECT_EQ(req->client, kClientIdBase);
+    EXPECT_EQ(req->id, 1u);
+    EXPECT_EQ(req->flags, kFlagReadOnly);
+    // Each replica can verify its MAC entry.
+    Bytes body = request_authenticated_bytes(*req);
+    EXPECT_TRUE(req->auth.verify(*crypto_, client_node(kClientIdBase),
+                                 replica_node(r), body));
+  }
+  EXPECT_FALSE(done.load()) << "no replies yet";
+}
+
+TEST_F(ClientHarness, CompletesOnFPlusOneMatchingReplies) {
+  auto& client = make_client();
+  std::atomic<int> done{0};
+  Bytes got;
+  client.invoke_async(to_bytes("op"), 0, [&](Bytes result, std::uint64_t) {
+    got = std::move(result);
+    ++done;
+  });
+  ASSERT_TRUE(recv_request(0));
+
+  send_reply(0, 1, to_bytes("R"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(done.load(), 0) << "one reply is not stable";
+  send_reply(1, 1, to_bytes("R"));
+  client.drain();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_EQ(got, to_bytes("R"));
+  EXPECT_EQ(client.completed(), 1u);
+}
+
+TEST_F(ClientHarness, MismatchedRepliesDoNotFormQuorum) {
+  auto& client = make_client();
+  std::atomic<int> done{0};
+  client.invoke_async(to_bytes("op"), 0,
+                      [&](Bytes, std::uint64_t) { ++done; });
+  ASSERT_TRUE(recv_request(0));
+
+  // f+1 = 2 needed, but the two replies disagree (one replica lies).
+  send_reply(0, 1, to_bytes("A"));
+  send_reply(1, 1, to_bytes("B"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(done.load(), 0);
+
+  // A third reply matching one of them settles it.
+  send_reply(2, 1, to_bytes("B"));
+  client.drain();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST_F(ClientHarness, DuplicateVotesFromSameReplicaIgnored) {
+  auto& client = make_client();
+  std::atomic<int> done{0};
+  client.invoke_async(to_bytes("op"), 0,
+                      [&](Bytes, std::uint64_t) { ++done; });
+  ASSERT_TRUE(recv_request(0));
+
+  send_reply(0, 1, to_bytes("R"));
+  send_reply(0, 1, to_bytes("R"));  // same replica again
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(done.load(), 0) << "one replica cannot vote twice";
+  send_reply(2, 1, to_bytes("R"));
+  client.drain();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST_F(ClientHarness, ForgedReplyMacRejected) {
+  auto& client = make_client();
+  std::atomic<int> done{0};
+  client.invoke_async(to_bytes("op"), 0,
+                      [&](Bytes, std::uint64_t) { ++done; });
+  ASSERT_TRUE(recv_request(0));
+
+  // Replica 3 forges a reply claiming to be replica 0: MAC check fails.
+  Message msg = Reply{0, kClientIdBase, 1, /*replica=*/0, to_bytes("evil"), {}};
+  Bytes frame = core::seal_message(msg, *crypto_, replica_node(3),
+                                   {client_node(kClientIdBase)});
+  network_.endpoint(replica_node(3))
+      .send(client_node(kClientIdBase), 0, std::move(frame));
+  send_reply(1, 1, to_bytes("good"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(done.load(), 0) << "forged vote must not count";
+
+  send_reply(2, 1, to_bytes("good"));
+  client.drain();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST_F(ClientHarness, RetransmitsUnansweredRequests) {
+  auto& client = make_client(8, /*retransmit_us=*/50'000);
+  client.invoke_async(to_bytes("op"), 0, [](Bytes, std::uint64_t) {});
+  ASSERT_TRUE(recv_request(0));
+  // No replies: the client must resend the identical request.
+  auto again = recv_request(0);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->id, 1u);
+  EXPECT_GT(client.retransmissions(), 0u);
+}
+
+TEST_F(ClientHarness, WindowBlocksWhenFull) {
+  auto& client = make_client(/*window=*/2);
+  std::atomic<int> issued{0};
+  std::thread issuer([&] {
+    for (int i = 0; i < 3; ++i) {
+      client.invoke_async(to_bytes("op"), 0, [](Bytes, std::uint64_t) {});
+      ++issued;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(issued.load(), 2) << "third invocation blocked by the window";
+
+  // Complete request 1 -> window opens -> the third goes out.
+  send_reply(0, 1, to_bytes("R"));
+  send_reply(1, 1, to_bytes("R"));
+  issuer.join();
+  EXPECT_EQ(issued.load(), 3);
+}
+
+TEST_F(ClientHarness, StopFailsOutstandingInvocations) {
+  auto& client = make_client();
+  std::atomic<int> called{0};
+  client.invoke_async(to_bytes("op"), 0,
+                      [&](Bytes result, std::uint64_t) {
+                        EXPECT_TRUE(result.empty());
+                        ++called;
+                      });
+  client.stop();
+  EXPECT_EQ(called.load(), 1) << "callback fired with empty result";
+}
+
+TEST_F(ClientHarness, LatencyRecorded) {
+  auto& client = make_client();
+  client.invoke_async(to_bytes("op"), 0, [](Bytes, std::uint64_t) {});
+  send_reply(0, 1, to_bytes("R"));
+  send_reply(1, 1, to_bytes("R"));
+  client.drain();
+  EXPECT_EQ(client.latencies().count(), 1u);
+  EXPECT_GT(client.latencies().max(), 0u);
+}
+
+}  // namespace
+}  // namespace copbft::test

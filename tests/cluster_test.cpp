@@ -1,0 +1,347 @@
+// End-to-end integration tests: four threaded replicas, in-process
+// transport, real SHA-256/HMAC crypto, real clients — for all three
+// architectures, including fault injection.
+#include <gtest/gtest.h>
+
+#include "app/coordination.hpp"
+#include "app/kv_store.hpp"
+#include "support/cluster_fixture.hpp"
+
+namespace copbft::test {
+namespace {
+
+using core::CopReplica;
+
+// ---- basic request/reply across architectures ---------------------------
+
+class ArchEcho : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(ArchEcho, SyncInvocationsComplete) {
+  ClusterOptions options;
+  options.arch = GetParam();
+  options.num_pillars = 2;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 30; ++i) {
+    auto reply = client.invoke(to_bytes("ping-" + std::to_string(i)));
+    ASSERT_TRUE(reply.has_value()) << "request " << i;
+    EXPECT_EQ(reply->size(), 8u) << "NullService reply size";
+  }
+  EXPECT_EQ(client.completed(), 30u);
+}
+
+TEST_P(ArchEcho, AsyncWindowCompletesEverything) {
+  ClusterOptions options;
+  options.arch = GetParam();
+  options.num_pillars = 3;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client(0, /*window=*/32);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client.invoke_async(
+        to_bytes("a"), 0, [&done](Bytes, std::uint64_t) { ++done; }));
+  }
+  client.drain();
+  EXPECT_EQ(done.load(), 200);
+  EXPECT_EQ(client.latencies().count(), 200u);
+  EXPECT_GT(client.latencies().mean(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, ArchEcho,
+                         ::testing::Values(Arch::kCop, Arch::kTop,
+                                           Arch::kSmart),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Arch::kCop:
+                               return "COP";
+                             case Arch::kTop:
+                               return "TOP";
+                             default:
+                               return "SMaRt";
+                           }
+                         });
+
+// ---- multiple clients across pillars --------------------------------------
+
+TEST(CopCluster, MultipleClientsAcrossPillars) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 3;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  std::vector<client::Client*> clients;
+  for (std::uint32_t p = 0; p < 3; ++p)
+    clients.push_back(&cluster.add_client_on_pillar(p, 8));
+
+  std::atomic<int> done{0};
+  for (int round = 0; round < 40; ++round)
+    for (auto* c : clients)
+      ASSERT_TRUE(c->invoke_async(to_bytes("x"), 0,
+                                  [&done](Bytes, std::uint64_t) { ++done; }));
+  for (auto* c : clients) c->drain();
+  EXPECT_EQ(done.load(), 120);
+
+  // All pillars carried instances (the partitioned sequencer worked).
+  auto& cop = dynamic_cast<CopReplica&>(cluster.replica(0));
+  for (std::uint32_t p = 0; p < 3; ++p)
+    EXPECT_GT(cop.pillar(p).core_stats().instances_delivered, 0u)
+        << "pillar " << p;
+}
+
+// ---- replicated state consistency -----------------------------------------
+
+TEST(CopCluster, KvStoreStatesConvergeAcrossReplicas) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 2;
+  options.make_service = [](const crypto::CryptoProvider& crypto) {
+    return std::make_unique<app::KvStore>(crypto);
+  };
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 40; ++i) {
+    app::KvOp op{app::KvOpCode::kPut, "key-" + std::to_string(i % 7),
+                 to_bytes("value-" + std::to_string(i))};
+    auto reply = client.invoke(op.encode());
+    ASSERT_TRUE(reply);
+    auto result = app::KvResult::decode(*reply);
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result->status, app::KvStatus::kOk);
+  }
+  // Read back through the cluster (strongly consistent reads).
+  auto reply = client.invoke(
+      app::KvOp{app::KvOpCode::kGet, "key-0", {}}.encode());
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(app::KvResult::decode(*reply)->value, to_bytes("value-35"));
+
+  cluster.stop();  // join all threads, then inspect service state
+  crypto::Digest reference;
+  for (protocol::ReplicaId r = 0; r < 4; ++r) {
+    auto& cop = dynamic_cast<CopReplica&>(cluster.replica(r));
+    crypto::Digest d = cop.service().state_digest();
+    if (r == 0)
+      reference = d;
+    else
+      EXPECT_EQ(d, reference) << "replica " << r << " diverged";
+  }
+}
+
+TEST(CopCluster, CoordinationServiceEndToEnd) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 2;
+  options.make_service = [](const crypto::CryptoProvider& crypto) {
+    return std::make_unique<app::CoordinationService>(crypto);
+  };
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  auto call = [&](app::CoordOpCode op, const std::string& path,
+                  Bytes data = {}) {
+    auto reply = client.invoke(app::CoordOp{op, path, data}.encode());
+    EXPECT_TRUE(reply);
+    return *app::CoordResult::decode(*reply);
+  };
+
+  EXPECT_EQ(call(app::CoordOpCode::kCreate, "/svc").status,
+            app::CoordStatus::kOk);
+  EXPECT_EQ(call(app::CoordOpCode::kCreate, "/svc/worker-1").status,
+            app::CoordStatus::kOk);
+  EXPECT_EQ(call(app::CoordOpCode::kCreate, "/svc/worker-2").status,
+            app::CoordStatus::kOk);
+  auto children = call(app::CoordOpCode::kChildren, "/svc");
+  EXPECT_EQ(to_string(children.payload), "worker-1\nworker-2");
+  EXPECT_EQ(call(app::CoordOpCode::kSetData, "/svc/worker-1",
+                 to_bytes("busy"))
+                .status,
+            app::CoordStatus::kOk);
+  auto got = call(app::CoordOpCode::kGetData, "/svc/worker-1");
+  EXPECT_EQ(got.payload, to_bytes("busy"));
+}
+
+// ---- COP specifics ---------------------------------------------------------
+
+TEST(CopCluster, StarvedPillarsAreFilledWithNoops) {
+  // All clients on pillar 0: pillars 1 and 2 have nothing to order, yet
+  // the total order must advance — the execution stage requests no-op
+  // fills (paper §4.2.1).
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 3;
+  options.runtime.gap_timeout_us = 1'000;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client_on_pillar(0);
+  for (int i = 0; i < 30; ++i)
+    ASSERT_TRUE(client.invoke(to_bytes("only-pillar-0")).has_value());
+
+  std::uint64_t noops = 0;
+  for (protocol::ReplicaId r = 0; r < 4; ++r)
+    noops += cluster.replica(r).stats().core.noop_proposals;
+  EXPECT_GT(noops, 0u) << "starved pillars were not filled";
+}
+
+TEST(CopCluster, CheckpointsStabilizeInRuntime) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 2;
+  options.runtime.protocol.checkpoint_interval = 20;
+  options.runtime.protocol.window = 80;
+  options.runtime.gap_timeout_us = 1'000;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client(0, 16);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 150; ++i)
+    ASSERT_TRUE(client.invoke_async(to_bytes("c"), 0,
+                                    [&done](Bytes, std::uint64_t) { ++done; }));
+  client.drain();
+  ASSERT_EQ(done.load(), 150);
+
+  for (protocol::ReplicaId r = 0; r < 4; ++r) {
+    auto stats = cluster.replica(r).stats();
+    EXPECT_GT(stats.core.checkpoints_stable, 0u) << "replica " << r;
+    EXPECT_GT(stats.exec.checkpoints_triggered, 0u) << "replica " << r;
+  }
+}
+
+// ---- fault tolerance --------------------------------------------------------
+
+TEST(FaultTolerance, SurvivesCrashedFollower) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 2;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(client.invoke(to_bytes("before")).has_value());
+
+  cluster.crash(3);  // one follower of f=1 may fail
+
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(client.invoke(to_bytes("after")).has_value()) << i;
+}
+
+TEST(FaultTolerance, SurvivesLossyNetwork) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 2;
+  options.runtime.gap_timeout_us = 1'000;
+  Cluster cluster(std::move(options));
+
+  // Drop 2% of all frames; client retransmission and protocol redundancy
+  // must still complete every request.
+  auto rng = std::make_shared<std::atomic<std::uint64_t>>(0x9e3779b9);
+  cluster.network().set_filter(
+      [rng](crypto::KeyNodeId, crypto::KeyNodeId, transport::LaneId) {
+        std::uint64_t x = rng->fetch_add(0x9e3779b97f4a7c15ULL);
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return (x % 100) >= 2;  // keep 98%
+      });
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 25; ++i)
+    ASSERT_TRUE(client.invoke(to_bytes("lossy")).has_value()) << i;
+}
+
+TEST(FaultTolerance, LeaderCrashTriggersViewChangeInRuntime) {
+  ClusterOptions options;
+  options.arch = Arch::kTop;  // single pillar keeps the scenario focused
+  options.runtime.protocol.view_change_timeout_us = 300'000;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(client.invoke(to_bytes("v0")).has_value());
+
+  cluster.crash(0);  // the leader of view 0
+
+  // The next requests stall until followers change the view, then complete.
+  for (int i = 0; i < 5; ++i) {
+    auto reply = client.invoke(to_bytes("v1-" + std::to_string(i)));
+    ASSERT_TRUE(reply.has_value()) << i;
+  }
+  bool view_advanced = false;
+  for (protocol::ReplicaId r = 1; r < 4; ++r)
+    view_advanced |=
+        cluster.replica(r).stats().core.view_changes_completed > 0;
+  EXPECT_TRUE(view_advanced);
+}
+
+// ---- reply modes ------------------------------------------------------------
+
+TEST(ReplyModes, OmitOneStillReachesQuorum) {
+  ClusterOptions options;
+  options.arch = Arch::kCop;
+  options.num_pillars = 2;
+  options.runtime.reply_mode = core::ReplyMode::kOmitOne;
+  Cluster cluster(std::move(options));
+  cluster.start();
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(client.invoke(to_bytes("three-replies")).has_value()) << i;
+
+  // The client only needs f+1 replies; give the remaining replica time to
+  // finish executing before reading its counters.
+  for (int spin = 0; spin < 200; ++spin) {
+    std::uint64_t executed = 0;
+    for (protocol::ReplicaId r = 0; r < 4; ++r)
+      executed += cluster.replica(r).stats().exec.requests_executed;
+    if (executed >= 80) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::uint64_t omitted = 0;
+  for (protocol::ReplicaId r = 0; r < 4; ++r)
+    omitted += cluster.replica(r).stats().exec.replies_omitted;
+  EXPECT_EQ(omitted, 20u) << "exactly one replica per request stays silent";
+}
+
+// ---- verification policies ---------------------------------------------------
+
+TEST(VerificationPolicies, SmartVerifiesOutOfOrderCopInOrder) {
+  // The SMaRt pool verifies everything; COP cores skip redundant votes.
+  ClusterOptions smart_options;
+  smart_options.arch = Arch::kSmart;
+  Cluster smart(std::move(smart_options));
+  smart.start();
+  auto& smart_client = smart.add_client();
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(smart_client.invoke(to_bytes("s")).has_value());
+  auto& smart_replica =
+      dynamic_cast<core::SmartReplica&>(smart.replica(1));
+  EXPECT_GT(smart_replica.pool_verifications(), 0u);
+  EXPECT_GT(smart.replica(1).stats().core.pre_verified, 0u);
+  smart.stop();
+
+  ClusterOptions cop_options;
+  cop_options.arch = Arch::kCop;
+  cop_options.num_pillars = 2;
+  Cluster cop(std::move(cop_options));
+  cop.start();
+  auto& cop_client = cop.add_client();
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(cop_client.invoke(to_bytes("c")).has_value());
+  auto stats = cop.replica(1).stats().core;
+  EXPECT_GT(stats.verifications_skipped, 0u)
+      << "in-order verification skipped redundant messages";
+  EXPECT_EQ(stats.pre_verified, 0u) << "nothing is pre-verified in COP";
+}
+
+}  // namespace
+}  // namespace copbft::test

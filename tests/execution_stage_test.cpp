@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+
+#include "app/null_service.hpp"
+#include "core/execution_stage.hpp"
+#include "support/fake_transport.hpp"
+
+namespace copbft::test {
+namespace {
+
+using namespace copbft::core;
+using namespace copbft::protocol;
+
+/// Records PillarCommands routed by the execution stage.
+struct CommandLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<std::uint32_t, PillarCommand>> commands;
+
+  void record(std::uint32_t pillar, PillarCommand cmd) {
+    std::lock_guard lock(mutex);
+    commands.emplace_back(pillar, std::move(cmd));
+    cv.notify_all();
+  }
+
+  template <typename Pred>
+  bool wait_for(Pred pred, int ms = 2000) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, std::chrono::milliseconds(ms),
+                       [&] { return pred(commands); });
+  }
+};
+
+class ExecutionStageTest : public ::testing::Test {
+ protected:
+  void start(ReplyMode mode = ReplyMode::kAll, std::uint32_t pillars = 2) {
+    config_.num_pillars = pillars;
+    config_.protocol.num_pillars = pillars;
+    config_.protocol.checkpoint_interval = 10;
+    config_.protocol.window = 40;
+    config_.reply_mode = mode;
+    config_.gap_timeout_us = 10'000;
+    crypto_ = crypto::make_real_crypto(3);
+    service_ = std::make_unique<app::NullService>(4);
+    stage_ = std::make_unique<ExecutionStage>(
+        /*self=*/1, config_, *service_, *crypto_, transport_,
+        [this](std::uint32_t pillar, PillarCommand cmd) {
+          log_.record(pillar, std::move(cmd));
+        });
+    stage_->start();
+  }
+
+  void TearDown() override {
+    if (stage_) stage_->stop();
+  }
+
+  CommittedBatch batch(SeqNum seq, std::initializer_list<RequestId> ids,
+                       ClientId client = 1001) {
+    auto requests = std::make_shared<std::vector<Request>>();
+    for (RequestId id : ids) {
+      Request req;
+      req.client = client;
+      req.id = id;
+      req.payload = to_bytes("x");
+      requests->push_back(std::move(req));
+    }
+    return CommittedBatch{seq, 0, requests, seq % config_.num_pillars};
+  }
+
+  bool wait_replies(std::size_t count, int ms = 2000) {
+    for (int spin = 0; spin < ms / 10; ++spin) {
+      if (transport_.sent_count() >= count) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return transport_.sent_count() >= count;
+  }
+
+  ReplicaRuntimeConfig config_;
+  std::unique_ptr<crypto::CryptoProvider> crypto_;
+  std::unique_ptr<app::NullService> service_;
+  FakeTransport transport_;
+  CommandLog log_;
+  std::unique_ptr<ExecutionStage> stage_;
+};
+
+TEST_F(ExecutionStageTest, ExecutesInSequenceOrderDespiteArrivalOrder) {
+  start();
+  // Arrive out of order: 3, 1, 2.
+  stage_->submit(batch(3, {30}));
+  stage_->submit(batch(1, {10}));
+  stage_->submit(batch(2, {20}));
+  ASSERT_TRUE(wait_replies(3));
+  stage_->stop();
+
+  // Replies are sent in execution order: request 10, 20, 30.
+  auto sent = transport_.take_sent();
+  ASSERT_EQ(sent.size(), 3u);
+  std::vector<RequestId> order;
+  for (const auto& s : sent) {
+    auto decoded = decode_message(s.frame);
+    ASSERT_TRUE(decoded);
+    order.push_back(std::get<Reply>(decoded->msg).id);
+  }
+  EXPECT_EQ(order, (std::vector<RequestId>{10, 20, 30}));
+  EXPECT_EQ(stage_->stats().requests_executed, 3u);
+  EXPECT_EQ(stage_->stats().last_executed_seq, 3u);
+}
+
+TEST_F(ExecutionStageTest, HoldsBackUntilGapCloses) {
+  start();
+  stage_->submit(batch(2, {20}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(stage_->stats().requests_executed, 0u) << "seq 1 missing";
+  stage_->submit(batch(1, {10}));
+  ASSERT_TRUE(wait_replies(2));
+  EXPECT_EQ(stage_->stats().requests_executed, 2u);
+}
+
+TEST_F(ExecutionStageTest, DuplicateRequestSuppressedAndReplyResent) {
+  start();
+  stage_->submit(batch(1, {7}));
+  ASSERT_TRUE(wait_replies(1));
+  // The same request committed again at a later sequence number (client
+  // retransmission raced the first instance).
+  stage_->submit(batch(2, {7}));
+  ASSERT_TRUE(wait_replies(2));
+  stage_->stop();
+
+  EXPECT_EQ(stage_->stats().requests_executed, 1u) << "executed once";
+  EXPECT_EQ(stage_->stats().duplicates_suppressed, 1u);
+  auto sent = transport_.take_sent();
+  ASSERT_EQ(sent.size(), 2u) << "cached reply resent";
+  auto a = decode_message(sent[0].frame);
+  auto b = decode_message(sent[1].frame);
+  EXPECT_EQ(std::get<Reply>(a->msg).result, std::get<Reply>(b->msg).result);
+}
+
+TEST_F(ExecutionStageTest, NoopBatchesAdvanceWithoutExecution) {
+  start();
+  stage_->submit(CommittedBatch{
+      1, 0, std::make_shared<std::vector<Request>>(), 0});
+  stage_->submit(batch(2, {5}));
+  ASSERT_TRUE(wait_replies(1));
+  EXPECT_EQ(stage_->stats().noops_executed, 1u);
+  EXPECT_EQ(stage_->stats().requests_executed, 1u);
+}
+
+TEST_F(ExecutionStageTest, CheckpointTriggeredAtIntervalWithRoundRobinOwner) {
+  start(ReplyMode::kAll, /*pillars=*/2);
+  for (SeqNum s = 1; s <= 20; ++s)
+    stage_->submit(batch(s, {static_cast<RequestId>(s)}));
+  ASSERT_TRUE(log_.wait_for([](const auto& commands) {
+    int checkpoints = 0;
+    for (const auto& [pillar, cmd] : commands)
+      if (std::holds_alternative<StartCheckpoint>(cmd)) ++checkpoints;
+    return checkpoints >= 2;
+  }));
+  stage_->stop();
+
+  std::vector<std::pair<std::uint32_t, SeqNum>> checkpoints;
+  for (const auto& [pillar, cmd] : log_.commands)
+    if (const auto* cp = std::get_if<StartCheckpoint>(&cmd))
+      checkpoints.emplace_back(pillar, cp->seq);
+  ASSERT_GE(checkpoints.size(), 2u);
+  // interval 10: checkpoint at 10 owned by pillar (10/10)%2=1, at 20 by
+  // (20/10)%2=0 — the paper's round-robin checkpoint distribution.
+  EXPECT_EQ(checkpoints[0], (std::pair<std::uint32_t, SeqNum>{1u, 10u}));
+  EXPECT_EQ(checkpoints[1], (std::pair<std::uint32_t, SeqNum>{0u, 20u}));
+}
+
+TEST_F(ExecutionStageTest, GapFillRequestedWhenStalled) {
+  start();
+  stage_->submit(batch(5, {50}));  // seqs 1-4 missing
+  ASSERT_TRUE(log_.wait_for([](const auto& commands) {
+    for (const auto& [pillar, cmd] : commands)
+      if (std::holds_alternative<FillGap>(cmd)) return true;
+    return false;
+  }));
+  // Every pillar is asked to fill its slice up to the buffered frontier.
+  std::set<std::uint32_t> asked;
+  SeqNum target = 0;
+  {
+    std::lock_guard lock(log_.mutex);
+    for (const auto& [pillar, cmd] : log_.commands)
+      if (const auto* gap = std::get_if<FillGap>(&cmd)) {
+        asked.insert(pillar);
+        target = gap->seq;
+      }
+  }
+  EXPECT_EQ(asked.size(), 2u);
+  EXPECT_EQ(target, 5u);
+}
+
+TEST_F(ExecutionStageTest, OmitOneSkipsDeterministicReplica) {
+  start(ReplyMode::kOmitOne);
+  // Find a request id whose omitted replier is replica 1 (self), and one
+  // whose is not.
+  RequestId omitted_id = 0, replied_id = 0;
+  for (RequestId id = 1; id < 50 && (!omitted_id || !replied_id); ++id) {
+    if (config_.omitted_replier(request_key(1001, id)) == 1)
+      omitted_id = omitted_id ? omitted_id : id;
+    else
+      replied_id = replied_id ? replied_id : id;
+  }
+  ASSERT_NE(omitted_id, 0u);
+  ASSERT_NE(replied_id, 0u);
+
+  stage_->submit(batch(1, {omitted_id}));
+  stage_->submit(batch(2, {replied_id}));
+  ASSERT_TRUE(wait_replies(1));
+  stage_->stop();
+
+  EXPECT_EQ(stage_->stats().replies_omitted, 1u);
+  EXPECT_EQ(stage_->stats().replies_sent, 1u);
+  auto sent = transport_.take_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(std::get<Reply>(decode_message(sent[0].frame)->msg).id,
+            replied_id);
+}
+
+TEST_F(ExecutionStageTest, RepliesCarryVerifiableMac) {
+  start();
+  stage_->submit(batch(1, {9}));
+  ASSERT_TRUE(wait_replies(1));
+  stage_->stop();
+  auto sent = transport_.take_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].to, client_node(1001));
+  auto decoded = decode_message(sent[0].frame);
+  ASSERT_TRUE(decoded);
+  const auto& reply = std::get<Reply>(decoded->msg);
+  ByteSpan body{sent[0].frame.data(), decoded->body_size};
+  EXPECT_TRUE(reply.auth.verify(*crypto_, replica_node(1),
+                                client_node(1001), body));
+}
+
+}  // namespace
+}  // namespace copbft::test

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "support/core_harness.hpp"
+
+namespace copbft::test {
+namespace {
+
+ProtocolConfig small_config() {
+  ProtocolConfig cfg;
+  cfg.num_replicas = 4;
+  cfg.max_faulty = 1;
+  cfg.checkpoint_interval = 10;
+  cfg.window = 40;
+  cfg.batching = false;
+  cfg.view_change_timeout_us = 0;  // disabled unless a test enables it
+  return cfg;
+}
+
+Bytes payload(int i) { return to_bytes("op-" + std::to_string(i)); }
+
+// ---- normal case -------------------------------------------------------
+
+TEST(PbftCore, SingleRequestCommitsEverywhere) {
+  PillarGroupHarness h({small_config()});
+  h.client_request(1001, 1, payload(1));
+  h.run_until_quiescent();
+
+  for (ReplicaId r = 0; r < 4; ++r) {
+    ASSERT_EQ(h.delivered(r).size(), 1u) << "replica " << r;
+    const auto& batch = h.delivered(r)[0];
+    EXPECT_EQ(batch.seq, 1u);
+    ASSERT_EQ(batch.requests.size(), 1u);
+    EXPECT_EQ(batch.requests[0].client, 1001u);
+    EXPECT_EQ(batch.requests[0].payload, payload(1));
+  }
+}
+
+TEST(PbftCore, ManyRequestsSameOrderEverywhere) {
+  PillarGroupHarness h({small_config()});
+  for (int i = 1; i <= 30; ++i)
+    h.client_request(1001 + static_cast<ClientId>(i % 3), i, payload(i));
+  h.run_until_quiescent();
+
+  auto reference = h.delivered_sorted(0);
+  ASSERT_EQ(reference.size(), 30u);
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(reference[i].seq, i + 1) << "no gaps";
+  for (ReplicaId r = 1; r < 4; ++r) {
+    auto got = h.delivered_sorted(r);
+    ASSERT_EQ(got.size(), reference.size()) << "replica " << r;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, reference[i].seq);
+      ASSERT_EQ(got[i].requests.size(), reference[i].requests.size());
+      for (std::size_t j = 0; j < got[i].requests.size(); ++j)
+        EXPECT_EQ(got[i].requests[j].key(), reference[i].requests[j].key());
+    }
+  }
+}
+
+TEST(PbftCore, BatchingPacksPendingRequests) {
+  auto cfg = small_config();
+  cfg.batching = true;
+  cfg.max_batch = 8;
+  cfg.max_active_proposals = 1;  // makes batch formation deterministic
+  PillarGroupHarness h({cfg});
+  // Submit to the leader only, with no network steps in between: the first
+  // request proposes immediately; the rest accumulate and batch.
+  for (int i = 1; i <= 9; ++i)
+    h.client_request(1001, i, payload(i), {0});
+  h.run_until_quiescent();
+
+  auto batches = h.delivered_sorted(0);
+  ASSERT_GE(batches.size(), 2u);
+  std::size_t total = 0;
+  std::size_t max_batch = 0;
+  for (const auto& b : batches) {
+    total += b.requests.size();
+    max_batch = std::max(max_batch, b.requests.size());
+  }
+  EXPECT_EQ(total, 9u);
+  EXPECT_GT(max_batch, 1u) << "later requests were batched";
+  EXPECT_LE(max_batch, 8u) << "max_batch respected";
+}
+
+TEST(PbftCore, UnbatchedUsesOneInstancePerRequest) {
+  PillarGroupHarness h({small_config()});
+  for (int i = 1; i <= 5; ++i) h.client_request(1001, i, payload(i), {0});
+  h.run_until_quiescent();
+  EXPECT_EQ(h.delivered_sorted(0).size(), 5u);
+  EXPECT_EQ(h.core(0).stats().proposals, 5u);
+}
+
+TEST(PbftCore, DuplicateRequestsDroppedBeforeOrdering) {
+  PillarGroupHarness h({small_config()});
+  h.client_request(1001, 1, payload(1));
+  h.client_request(1001, 1, payload(1));  // duplicate
+  h.run_until_quiescent();
+  EXPECT_EQ(h.delivered_sorted(0).size(), 1u);
+  EXPECT_GT(h.core(0).stats().duplicates_dropped, 0u);
+}
+
+TEST(PbftCore, FollowerDropsConflictingSecondPrePrepare) {
+  PillarGroupHarness h({small_config()});
+  h.client_request(1001, 1, payload(1));
+  h.run_until_quiescent();
+
+  // A (faulty) leader proposal for the same (view, seq) with a different
+  // digest must be ignored without verification.
+  auto& follower = h.core(1);
+  auto before = follower.stats();
+  PrePrepare evil;
+  evil.view = 0;
+  evil.seq = 1;
+  evil.digest.bytes.fill(0xee);
+  IncomingMessage im;
+  im.msg = evil;
+  follower.on_message(std::move(im), h.now());
+  auto after = follower.stats();
+  EXPECT_EQ(after.macs_verified, before.macs_verified);
+  EXPECT_EQ(after.verifications_skipped, before.verifications_skipped + 1);
+}
+
+// ---- in-order verification efficiency (paper §3.2) ---------------------
+
+TEST(PbftCore, RedundantVotesAreNotVerified) {
+  PillarGroupHarness h({small_config()});
+  for (int i = 1; i <= 20; ++i) h.client_request(1001, i, payload(i));
+  h.run_until_quiescent();
+
+  for (ReplicaId r = 0; r < 4; ++r) {
+    const auto& s = h.core(r).stats();
+    // With N=4, f=1: each instance generates 3 prepares (2f=2 needed by a
+    // follower that counts its own) and 4 commits (2f+1=3 needed incl own).
+    // At least the surplus commit per instance must be skipped.
+    EXPECT_GT(s.verifications_skipped, 0u) << "replica " << r;
+    EXPECT_GT(s.macs_verified, 0u);
+  }
+}
+
+// ---- checkpointing -----------------------------------------------------
+
+TEST(PbftCore, CheckpointsBecomeStableAndGarbageCollect) {
+  auto cfg = small_config();
+  PillarGroupHarness h({cfg});
+  for (int i = 1; i <= 35; ++i) h.client_request(1001, i, payload(i));
+  h.run_until_quiescent();
+
+  for (ReplicaId r = 0; r < 4; ++r) {
+    // 35 instances, interval 10 -> checkpoints at 10, 20, 30.
+    EXPECT_EQ(h.stable_checkpoints(r),
+              (std::vector<SeqNum>{10, 20, 30}))
+        << "replica " << r;
+    EXPECT_EQ(h.core(r).stable_seq(), 30u);
+    // Instances <= 30 must be gone.
+    EXPECT_LE(h.core(r).open_instances(), 5u);
+  }
+}
+
+TEST(PbftCore, WindowBlocksRunahead) {
+  auto cfg = small_config();
+  cfg.checkpoint_interval = 10;
+  cfg.window = 10;
+  PillarGroupHarness h({cfg, SeqSlice{0, 1}, /*seed=*/1, /*shuffle=*/false,
+                        0.0, nullptr, /*auto_checkpoint=*/false});
+  // Without checkpoints the window [1, 10] caps proposals.
+  for (int i = 1; i <= 25; ++i) h.client_request(1001, i, payload(i), {0});
+  h.run_until_quiescent();
+  EXPECT_EQ(h.delivered_sorted(0).size(), 10u);
+  EXPECT_EQ(h.core(0).pending_requests(), 15u);
+}
+
+TEST(PbftCore, SiblingStabilityNoticeSlidesWindow) {
+  auto cfg = small_config();
+  cfg.window = 10;
+  PillarGroupHarness h({cfg, SeqSlice{0, 1}, 1, false, 0.0, nullptr,
+                        /*auto_checkpoint=*/false});
+  for (int i = 1; i <= 25; ++i) h.client_request(1001, i, payload(i), {0});
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered_sorted(0).size(), 10u);
+
+  // Simulate a sibling pillar's stable checkpoint at 10 on every replica.
+  crypto::Digest d;
+  for (ReplicaId r = 0; r < 4; ++r)
+    h.core(r).note_checkpoint_stable(10, d);
+  h.tick_all();  // flush the proposals triggered by the slid window
+  // The leader can now propose 11..20.
+  h.run_until_quiescent();
+  EXPECT_EQ(h.delivered_sorted(0).size(), 20u);
+}
+
+// ---- gap filling (paper §4.2.1) -----------------------------------------
+
+TEST(PbftCore, FillGapProposesNoops) {
+  auto cfg = small_config();
+  PillarGroupHarness h({cfg, SeqSlice{1, 3}});  // pillar 1 of 3: 1, 4, 7...
+  // No client traffic at all; the execution stage demands seq up to 7.
+  for (ReplicaId r = 0; r < 4; ++r) h.fill_gap(r, 7);
+  h.run_until_quiescent();
+
+  for (ReplicaId r = 0; r < 4; ++r) {
+    auto batches = h.delivered_sorted(r);
+    ASSERT_EQ(batches.size(), 3u) << "replica " << r;
+    EXPECT_EQ(batches[0].seq, 1u);
+    EXPECT_EQ(batches[1].seq, 4u);
+    EXPECT_EQ(batches[2].seq, 7u);
+    for (const auto& b : batches) EXPECT_TRUE(b.requests.empty());
+  }
+  EXPECT_EQ(h.core(0).stats().noop_proposals, 3u);
+}
+
+TEST(PbftCore, FillGapPrefersPendingRequests) {
+  auto cfg = small_config();
+  cfg.batching = true;
+  PillarGroupHarness h({cfg, SeqSlice{0, 2}});
+  // One pending request at the leader; gap fill should order it, not a
+  // no-op, then fill the remainder with no-ops.
+  h.client_request(1001, 1, payload(1), {0});
+  h.run_until_quiescent();
+  for (ReplicaId r = 0; r < 4; ++r) h.fill_gap(r, 6);
+  h.run_until_quiescent();
+
+  auto batches = h.delivered_sorted(0);
+  ASSERT_EQ(batches.size(), 3u);  // seq 2, 4, 6
+  EXPECT_EQ(batches[0].requests.size(), 1u);
+  EXPECT_TRUE(batches[1].requests.empty());
+  EXPECT_TRUE(batches[2].requests.empty());
+}
+
+// ---- sequence slices (COP partitioning) ----------------------------------
+
+TEST(PbftCore, SliceIgnoresForeignSequences) {
+  auto cfg = small_config();
+  PillarGroupHarness h({cfg, SeqSlice{0, 2}});
+  h.client_request(1001, 1, payload(1));
+  h.run_until_quiescent();
+
+  // First instance of slice {0,2} is seq 2 (seq 0 is genesis).
+  auto batches = h.delivered_sorted(1);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].seq, 2u);
+
+  // A pre-prepare for a foreign sequence number is skipped unverified.
+  auto before = h.core(1).stats();
+  PrePrepare foreign;
+  foreign.view = 0;
+  foreign.seq = 3;  // not in slice {0,2}
+  IncomingMessage im;
+  im.msg = foreign;
+  h.core(1).on_message(std::move(im), h.now());
+  EXPECT_EQ(h.core(1).stats().macs_verified, before.macs_verified);
+}
+
+TEST(PbftCore, TwoSlicesFormGaplessTotalOrder) {
+  // Two pillar groups (NP=2) running side by side; their merged outcome
+  // must enumerate 2,3,4,... densely when both have traffic. (Seq 1 is
+  // slice {1,2}'s first member; slice {0,2} starts at 2.)
+  auto cfg = small_config();
+  cfg.batching = false;
+  PillarGroupHarness g0({cfg, SeqSlice{0, 2}, 1});
+  PillarGroupHarness g1({cfg, SeqSlice{1, 2}, 2});
+  for (int i = 1; i <= 10; ++i) {
+    g0.client_request(1000 + static_cast<ClientId>(2 * i), 1, payload(i));
+    g1.client_request(1001 + static_cast<ClientId>(2 * i), 1, payload(i));
+  }
+  g0.run_until_quiescent();
+  g1.run_until_quiescent();
+
+  std::vector<SeqNum> merged;
+  for (const auto& b : g0.delivered_sorted(0)) merged.push_back(b.seq);
+  for (const auto& b : g1.delivered_sorted(0)) merged.push_back(b.seq);
+  std::sort(merged.begin(), merged.end());
+  ASSERT_EQ(merged.size(), 20u);
+  for (std::size_t i = 0; i < merged.size(); ++i)
+    EXPECT_EQ(merged[i], i + 1) << "dense interleaving across slices";
+}
+
+// ---- single-instance mode (SMaRt baseline) ------------------------------
+
+TEST(PbftCore, SingleInstanceModeSerializesProposals) {
+  auto cfg = small_config();
+  cfg.max_active_proposals = 1;
+  cfg.batching = false;
+  PillarGroupHarness h({cfg});
+  for (int i = 1; i <= 6; ++i) h.client_request(1001, i, payload(i), {0});
+  // Before any network step, only one proposal may be outstanding.
+  EXPECT_EQ(h.core(0).stats().proposals, 1u);
+  h.run_until_quiescent();
+  EXPECT_EQ(h.core(0).stats().proposals, 6u);
+  EXPECT_EQ(h.delivered_sorted(0).size(), 6u);
+}
+
+TEST(PbftCore, SingleInstanceWithBatchingScales) {
+  auto cfg = small_config();
+  cfg.max_active_proposals = 1;
+  cfg.batching = true;
+  cfg.max_batch = 100;
+  PillarGroupHarness h({cfg});
+  for (int i = 1; i <= 50; ++i) h.client_request(1001, i, payload(i), {0});
+  h.run_until_quiescent();
+  // One instance for the first request, one batch for the remaining 49.
+  EXPECT_EQ(h.core(0).stats().proposals, 2u);
+  EXPECT_EQ(h.core(0).stats().requests_delivered, 50u);
+}
+
+// ---- rotation (paper §4.3.2) ---------------------------------------------
+
+TEST(PbftCore, RotatingLeadersAllPropose) {
+  auto cfg = small_config();
+  cfg.leader_scheme = LeaderScheme::kRotating;
+  cfg.num_pillars = 1;  // trivial slice; rotation per instance
+  PillarGroupHarness h({cfg});
+  for (int i = 1; i <= 12; ++i) {
+    h.client_request(1001, i, payload(i));
+    h.run_until_quiescent();
+  }
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_GT(h.core(r).stats().proposals, 0u) << "replica " << r;
+    EXPECT_EQ(h.delivered_sorted(r).size(), 12u);
+  }
+}
+
+TEST(PbftCore, RotationTotalOrderConsistent) {
+  auto cfg = small_config();
+  cfg.leader_scheme = LeaderScheme::kRotating;
+  cfg.batching = true;
+  PillarGroupHarness h({cfg, SeqSlice{0, 1}, 3, /*shuffle=*/true});
+  for (int i = 1; i <= 40; ++i) h.client_request(1001, i, payload(i));
+  h.run_until_quiescent();
+
+  auto reference = h.delivered_sorted(0);
+  for (ReplicaId r = 1; r < 4; ++r) {
+    auto got = h.delivered_sorted(r);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, reference[i].seq);
+      ASSERT_EQ(got[i].requests.size(), reference[i].requests.size());
+      for (std::size_t j = 0; j < got[i].requests.size(); ++j)
+        EXPECT_EQ(got[i].requests[j].key(), reference[i].requests[j].key());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace copbft::test

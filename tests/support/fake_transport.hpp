@@ -1,0 +1,54 @@
+// Test double for transport::Transport: records every sent frame.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace copbft::test {
+
+class FakeTransport final : public transport::Transport {
+ public:
+  struct Sent {
+    crypto::KeyNodeId to;
+    transport::LaneId lane;
+    Bytes frame;
+  };
+
+  void register_sink(transport::LaneId lane,
+                     std::shared_ptr<transport::FrameSink> sink) override {
+    std::lock_guard lock(mutex_);
+    sinks_.emplace_back(lane, std::move(sink));
+  }
+
+  bool send(crypto::KeyNodeId to, transport::LaneId lane,
+            Bytes frame) override {
+    std::lock_guard lock(mutex_);
+    sent_.push_back({to, lane, std::move(frame)});
+    return true;
+  }
+
+  void shutdown() override {}
+
+  std::vector<Sent> take_sent() {
+    std::lock_guard lock(mutex_);
+    std::vector<Sent> out;
+    out.swap(sent_);
+    return out;
+  }
+
+  std::size_t sent_count() const {
+    std::lock_guard lock(mutex_);
+    return sent_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Sent> sent_;
+  std::vector<std::pair<transport::LaneId,
+                        std::shared_ptr<transport::FrameSink>>>
+      sinks_;
+};
+
+}  // namespace copbft::test

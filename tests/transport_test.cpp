@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "transport/inproc.hpp"
+#include "transport/tcp.hpp"
+
+namespace copbft::test {
+namespace {
+
+using namespace copbft::transport;
+
+// ---- in-process -------------------------------------------------------
+
+TEST(Inproc, DeliversToRegisteredSink) {
+  InprocNetwork network;
+  auto inbox = std::make_shared<Inbox>();
+  network.endpoint(2).register_sink(0, inbox);
+
+  EXPECT_TRUE(network.endpoint(1).send(2, 0, to_bytes("hello")));
+  auto frame = inbox->queue().pop();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->from, 1u);
+  EXPECT_EQ(frame->lane, 0u);
+  EXPECT_EQ(to_string(frame->bytes), "hello");
+}
+
+TEST(Inproc, UnknownDestinationFails) {
+  InprocNetwork network;
+  EXPECT_FALSE(network.endpoint(1).send(99, 0, to_bytes("x")));
+}
+
+TEST(Inproc, LanesAreIndependent) {
+  InprocNetwork network;
+  auto lane0 = std::make_shared<Inbox>();
+  auto lane1 = std::make_shared<Inbox>();
+  network.endpoint(2).register_sink(0, lane0);
+  network.endpoint(2).register_sink(1, lane1);
+
+  network.endpoint(1).send(2, 1, to_bytes("one"));
+  network.endpoint(1).send(2, 0, to_bytes("zero"));
+  EXPECT_EQ(to_string(lane0->queue().pop()->bytes), "zero");
+  EXPECT_EQ(to_string(lane1->queue().pop()->bytes), "one");
+}
+
+TEST(Inproc, FilterDropsFrames) {
+  InprocNetwork network;
+  auto inbox = std::make_shared<Inbox>();
+  network.endpoint(2).register_sink(0, inbox);
+  network.set_filter([](crypto::KeyNodeId from, crypto::KeyNodeId, LaneId) {
+    return from != 1;  // drop everything node 1 sends
+  });
+
+  EXPECT_TRUE(network.endpoint(1).send(2, 0, to_bytes("dropped")));
+  EXPECT_TRUE(network.endpoint(3).send(2, 0, to_bytes("kept")));
+  auto frame = inbox->queue().pop();
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->from, 3u);
+  EXPECT_TRUE(inbox->queue().empty());
+}
+
+TEST(Inproc, ShutdownClosesSinks) {
+  InprocNetwork network;
+  auto inbox = std::make_shared<Inbox>();
+  network.endpoint(2).register_sink(0, inbox);
+  network.endpoint(2).shutdown();
+  EXPECT_EQ(inbox->queue().pop(), std::nullopt);
+}
+
+TEST(Inproc, PerSenderFifoOrder) {
+  InprocNetwork network;
+  auto inbox = std::make_shared<Inbox>();
+  network.endpoint(2).register_sink(0, inbox);
+  for (int i = 0; i < 100; ++i)
+    network.endpoint(1).send(2, 0, Bytes{static_cast<Byte>(i)});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(inbox->queue().pop()->bytes[0], static_cast<Byte>(i));
+}
+
+// ---- TCP --------------------------------------------------------------
+
+std::uint16_t pick_port(std::uint16_t base) {
+  // Spread across runs to dodge TIME_WAIT collisions.
+  auto salt = static_cast<std::uint32_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() / 1000);
+  return static_cast<std::uint16_t>(base + (salt % 400));
+}
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_port_ = pick_port(45000);
+    peers_[1] = {"127.0.0.1", base_port_};
+    peers_[2] = {"127.0.0.1", static_cast<std::uint16_t>(base_port_ + 1)};
+    a_ = std::make_unique<TcpTransport>(1, base_port_, peers_);
+    b_ = std::make_unique<TcpTransport>(
+        2, static_cast<std::uint16_t>(base_port_ + 1), peers_);
+    a_inbox_ = std::make_shared<Inbox>();
+    b_inbox_ = std::make_shared<Inbox>();
+    a_->register_sink(0, a_inbox_);
+    a_->register_sink(1, a_inbox_);
+    b_->register_sink(0, b_inbox_);
+    b_->register_sink(1, b_inbox_);
+    ASSERT_TRUE(a_->start());
+    ASSERT_TRUE(b_->start());
+  }
+
+  void TearDown() override {
+    a_->shutdown();
+    b_->shutdown();
+  }
+
+  std::uint16_t base_port_;
+  std::map<crypto::KeyNodeId, TcpPeer> peers_;
+  std::unique_ptr<TcpTransport> a_, b_;
+  std::shared_ptr<Inbox> a_inbox_, b_inbox_;
+};
+
+TEST_F(TcpTest, FramesRoundTrip) {
+  ASSERT_TRUE(a_->send(2, 0, to_bytes("ping")));
+  auto frame = b_inbox_->queue().pop_for(std::chrono::microseconds(2'000'000));
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->from, 1u);
+  EXPECT_EQ(to_string(frame->bytes), "ping");
+
+  ASSERT_TRUE(b_->send(1, 0, to_bytes("pong")));
+  frame = a_inbox_->queue().pop_for(std::chrono::microseconds(2'000'000));
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame->from, 2u);
+  EXPECT_EQ(to_string(frame->bytes), "pong");
+}
+
+TEST_F(TcpTest, EmptyAndLargeFrames) {
+  ASSERT_TRUE(a_->send(2, 0, Bytes{}));
+  Rng rng(5);
+  Bytes big(256 * 1024);
+  for (auto& byte : big) byte = static_cast<Byte>(rng.below(256));
+  ASSERT_TRUE(a_->send(2, 0, big));
+
+  auto empty = b_inbox_->queue().pop_for(std::chrono::microseconds(2'000'000));
+  ASSERT_TRUE(empty);
+  EXPECT_TRUE(empty->bytes.empty());
+  auto large = b_inbox_->queue().pop_for(std::chrono::microseconds(2'000'000));
+  ASSERT_TRUE(large);
+  EXPECT_EQ(large->bytes, big);
+}
+
+TEST_F(TcpTest, LanesUseSeparateConnections) {
+  ASSERT_TRUE(a_->send(2, 0, to_bytes("lane0")));
+  ASSERT_TRUE(a_->send(2, 1, to_bytes("lane1")));
+  std::set<std::string> got;
+  for (int i = 0; i < 2; ++i) {
+    auto frame =
+        b_inbox_->queue().pop_for(std::chrono::microseconds(2'000'000));
+    ASSERT_TRUE(frame);
+    got.insert(to_string(frame->bytes));
+  }
+  EXPECT_EQ(got, (std::set<std::string>{"lane0", "lane1"}));
+}
+
+TEST_F(TcpTest, ManyFramesInOrderPerLane) {
+  for (int i = 0; i < 500; ++i) {
+    Bytes frame = {static_cast<Byte>(i & 0xff), static_cast<Byte>(i >> 8)};
+    ASSERT_TRUE(a_->send(2, 0, std::move(frame)));
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto frame =
+        b_inbox_->queue().pop_for(std::chrono::microseconds(2'000'000));
+    ASSERT_TRUE(frame) << "frame " << i;
+    int value = frame->bytes[0] | (frame->bytes[1] << 8);
+    EXPECT_EQ(value, i);
+  }
+}
+
+TEST_F(TcpTest, SendToUnknownPeerFails) {
+  EXPECT_FALSE(a_->send(42, 0, to_bytes("x")));
+}
+
+TEST_F(TcpTest, SendAfterShutdownFails) {
+  a_->shutdown();
+  EXPECT_FALSE(a_->send(2, 0, to_bytes("x")));
+}
+
+}  // namespace
+}  // namespace copbft::test
