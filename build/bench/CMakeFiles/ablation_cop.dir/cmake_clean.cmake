@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cop.dir/ablation_cop.cpp.o"
+  "CMakeFiles/ablation_cop.dir/ablation_cop.cpp.o.d"
+  "ablation_cop"
+  "ablation_cop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

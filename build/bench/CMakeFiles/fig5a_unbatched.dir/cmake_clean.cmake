@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_unbatched.dir/fig5a_unbatched.cpp.o"
+  "CMakeFiles/fig5a_unbatched.dir/fig5a_unbatched.cpp.o.d"
+  "fig5a_unbatched"
+  "fig5a_unbatched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_unbatched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_batched.dir/fig5b_batched.cpp.o"
+  "CMakeFiles/fig5b_batched.dir/fig5b_batched.cpp.o.d"
+  "fig5b_batched"
+  "fig5b_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

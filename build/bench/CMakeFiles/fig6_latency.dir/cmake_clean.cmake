@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_latency.dir/fig6_latency.cpp.o"
+  "CMakeFiles/fig6_latency.dir/fig6_latency.cpp.o.d"
+  "fig6_latency"
+  "fig6_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

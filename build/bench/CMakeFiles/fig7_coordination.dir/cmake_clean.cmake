@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_coordination.dir/fig7_coordination.cpp.o"
+  "CMakeFiles/fig7_coordination.dir/fig7_coordination.cpp.o.d"
+  "fig7_coordination"
+  "fig7_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_limits.dir/fig8_limits.cpp.o"
+  "CMakeFiles/fig8_limits.dir/fig8_limits.cpp.o.d"
+  "fig8_limits"
+  "fig8_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordination_service.dir/coordination_service.cpp.o"
+  "CMakeFiles/coordination_service.dir/coordination_service.cpp.o.d"
+  "coordination_service"
+  "coordination_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordination_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

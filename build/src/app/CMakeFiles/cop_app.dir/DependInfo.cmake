@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/coordination.cpp" "src/app/CMakeFiles/cop_app.dir/coordination.cpp.o" "gcc" "src/app/CMakeFiles/cop_app.dir/coordination.cpp.o.d"
+  "/root/repo/src/app/kv_store.cpp" "src/app/CMakeFiles/cop_app.dir/kv_store.cpp.o" "gcc" "src/app/CMakeFiles/cop_app.dir/kv_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cop_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

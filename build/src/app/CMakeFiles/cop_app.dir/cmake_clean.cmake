@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_app.dir/coordination.cpp.o"
+  "CMakeFiles/cop_app.dir/coordination.cpp.o.d"
+  "CMakeFiles/cop_app.dir/kv_store.cpp.o"
+  "CMakeFiles/cop_app.dir/kv_store.cpp.o.d"
+  "libcop_app.a"
+  "libcop_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_client.dir/client.cpp.o"
+  "CMakeFiles/cop_client.dir/client.cpp.o.d"
+  "libcop_client.a"
+  "libcop_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_common.dir/hex.cpp.o"
+  "CMakeFiles/cop_common.dir/hex.cpp.o.d"
+  "CMakeFiles/cop_common.dir/logging.cpp.o"
+  "CMakeFiles/cop_common.dir/logging.cpp.o.d"
+  "libcop_common.a"
+  "libcop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

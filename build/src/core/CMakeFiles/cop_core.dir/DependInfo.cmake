@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cop_replica.cpp" "src/core/CMakeFiles/cop_core.dir/cop_replica.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/cop_replica.cpp.o.d"
+  "/root/repo/src/core/execution_stage.cpp" "src/core/CMakeFiles/cop_core.dir/execution_stage.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/execution_stage.cpp.o.d"
+  "/root/repo/src/core/outbound.cpp" "src/core/CMakeFiles/cop_core.dir/outbound.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/outbound.cpp.o.d"
+  "/root/repo/src/core/outbound_sink.cpp" "src/core/CMakeFiles/cop_core.dir/outbound_sink.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/outbound_sink.cpp.o.d"
+  "/root/repo/src/core/pillar.cpp" "src/core/CMakeFiles/cop_core.dir/pillar.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/pillar.cpp.o.d"
+  "/root/repo/src/core/smart_replica.cpp" "src/core/CMakeFiles/cop_core.dir/smart_replica.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/smart_replica.cpp.o.d"
+  "/root/repo/src/core/top_replica.cpp" "src/core/CMakeFiles/cop_core.dir/top_replica.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/top_replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/cop_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cop_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/cop_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

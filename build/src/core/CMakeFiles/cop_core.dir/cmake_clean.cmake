@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_core.dir/cop_replica.cpp.o"
+  "CMakeFiles/cop_core.dir/cop_replica.cpp.o.d"
+  "CMakeFiles/cop_core.dir/execution_stage.cpp.o"
+  "CMakeFiles/cop_core.dir/execution_stage.cpp.o.d"
+  "CMakeFiles/cop_core.dir/outbound.cpp.o"
+  "CMakeFiles/cop_core.dir/outbound.cpp.o.d"
+  "CMakeFiles/cop_core.dir/outbound_sink.cpp.o"
+  "CMakeFiles/cop_core.dir/outbound_sink.cpp.o.d"
+  "CMakeFiles/cop_core.dir/pillar.cpp.o"
+  "CMakeFiles/cop_core.dir/pillar.cpp.o.d"
+  "CMakeFiles/cop_core.dir/smart_replica.cpp.o"
+  "CMakeFiles/cop_core.dir/smart_replica.cpp.o.d"
+  "CMakeFiles/cop_core.dir/top_replica.cpp.o"
+  "CMakeFiles/cop_core.dir/top_replica.cpp.o.d"
+  "libcop_core.a"
+  "libcop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

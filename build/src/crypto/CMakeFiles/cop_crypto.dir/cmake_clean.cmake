@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_crypto.dir/authenticator.cpp.o"
+  "CMakeFiles/cop_crypto.dir/authenticator.cpp.o.d"
+  "CMakeFiles/cop_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/cop_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/cop_crypto.dir/key_store.cpp.o"
+  "CMakeFiles/cop_crypto.dir/key_store.cpp.o.d"
+  "CMakeFiles/cop_crypto.dir/provider.cpp.o"
+  "CMakeFiles/cop_crypto.dir/provider.cpp.o.d"
+  "CMakeFiles/cop_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cop_crypto.dir/sha256.cpp.o.d"
+  "libcop_crypto.a"
+  "libcop_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_protocol.dir/messages.cpp.o"
+  "CMakeFiles/cop_protocol.dir/messages.cpp.o.d"
+  "CMakeFiles/cop_protocol.dir/pbft_core.cpp.o"
+  "CMakeFiles/cop_protocol.dir/pbft_core.cpp.o.d"
+  "libcop_protocol.a"
+  "libcop_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_sim.dir/machine.cpp.o"
+  "CMakeFiles/cop_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/cop_sim.dir/simulation.cpp.o"
+  "CMakeFiles/cop_sim.dir/simulation.cpp.o.d"
+  "libcop_sim.a"
+  "libcop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcop_sim.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for cop_sim.
+# This may be replaced when dependencies are built.

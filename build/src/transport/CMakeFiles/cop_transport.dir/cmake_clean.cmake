@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_transport.dir/inproc.cpp.o"
+  "CMakeFiles/cop_transport.dir/inproc.cpp.o.d"
+  "CMakeFiles/cop_transport.dir/tcp.cpp.o"
+  "CMakeFiles/cop_transport.dir/tcp.cpp.o.d"
+  "libcop_transport.a"
+  "libcop_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_test.dir/byzantine_test.cpp.o"
+  "CMakeFiles/byzantine_test.dir/byzantine_test.cpp.o.d"
+  "byzantine_test"
+  "byzantine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

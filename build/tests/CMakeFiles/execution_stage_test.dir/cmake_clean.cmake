@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_stage_test.dir/execution_stage_test.cpp.o"
+  "CMakeFiles/execution_stage_test.dir/execution_stage_test.cpp.o.d"
+  "execution_stage_test"
+  "execution_stage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbound_test.dir/outbound_test.cpp.o"
+  "CMakeFiles/outbound_test.dir/outbound_test.cpp.o.d"
+  "outbound_test"
+  "outbound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

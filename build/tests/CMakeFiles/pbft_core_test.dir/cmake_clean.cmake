@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_core_test.dir/pbft_core_test.cpp.o"
+  "CMakeFiles/pbft_core_test.dir/pbft_core_test.cpp.o.d"
+  "pbft_core_test"
+  "pbft_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol_sweep_test.cpp" "tests/CMakeFiles/protocol_sweep_test.dir/protocol_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_sweep_test.dir/protocol_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cop_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cop_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cop_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/cop_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cop_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sweep_test.dir/protocol_sweep_test.cpp.o"
+  "CMakeFiles/protocol_sweep_test.dir/protocol_sweep_test.cpp.o.d"
+  "protocol_sweep_test"
+  "protocol_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retransmission_test.dir/retransmission_test.cpp.o"
+  "CMakeFiles/retransmission_test.dir/retransmission_test.cpp.o.d"
+  "retransmission_test"
+  "retransmission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retransmission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

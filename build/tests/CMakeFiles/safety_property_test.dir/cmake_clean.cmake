@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_property_test.dir/safety_property_test.cpp.o"
+  "CMakeFiles/safety_property_test.dir/safety_property_test.cpp.o.d"
+  "safety_property_test"
+  "safety_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

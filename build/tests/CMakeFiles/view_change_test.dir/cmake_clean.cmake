@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_change_test.dir/view_change_test.cpp.o"
+  "CMakeFiles/view_change_test.dir/view_change_test.cpp.o.d"
+  "view_change_test"
+  "view_change_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_change_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
