@@ -1,0 +1,36 @@
+# Sanitizer wiring, selected through the COP_SANITIZE cache variable.
+#
+#   -DCOP_SANITIZE=address,undefined   ASan + UBSan (memory errors, UB)
+#   -DCOP_SANITIZE=thread              TSan (data races, lock inversions)
+#   -DCOP_SANITIZE=OFF                 plain build (default)
+#
+# The flags go on every target via add_compile_options so instrumented and
+# uninstrumented code never mix (mixing is unsupported for TSan and produces
+# false negatives for ASan). Use the `asan-ubsan` / `tsan` presets in
+# CMakePresets.json rather than spelling the variable out by hand.
+
+set(COP_SANITIZE "OFF" CACHE STRING
+    "Sanitizer set: OFF, or a comma list such as 'address,undefined' or 'thread'")
+set_property(CACHE COP_SANITIZE PROPERTY STRINGS
+             "OFF" "address,undefined" "address" "undefined" "thread")
+
+if(NOT COP_SANITIZE STREQUAL "OFF" AND NOT COP_SANITIZE STREQUAL "")
+  if(COP_SANITIZE MATCHES "thread" AND COP_SANITIZE MATCHES "address")
+    message(FATAL_ERROR "TSan cannot be combined with ASan (COP_SANITIZE=${COP_SANITIZE})")
+  endif()
+
+  set(_cop_san_flags
+      -fsanitize=${COP_SANITIZE}
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all
+      -g)
+  add_compile_options(${_cop_san_flags})
+  add_link_options(-fsanitize=${COP_SANITIZE})
+
+  # Sanitizer runs are about finding bugs, not measuring speed: keep enough
+  # optimization that tests finish, but never let NDEBUG strip assertions.
+  add_compile_options(-O1)
+  add_compile_definitions(COP_SANITIZE_BUILD=1)
+
+  message(STATUS "Sanitizers enabled: ${COP_SANITIZE}")
+endif()

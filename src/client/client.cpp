@@ -22,7 +22,7 @@ void Client::start() {
 
 void Client::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -50,10 +50,9 @@ bool Client::invoke_async(Bytes payload, std::uint8_t flags, Callback done) {
   Bytes frame;
   std::uint64_t now;
   {
-    std::unique_lock lock(mutex_);
-    window_open_.wait(lock, [&] {
-      return stopped_ || pending_.size() < config_.window;
-    });
+    CvLock lock(mutex_);
+    while (!stopped_ && pending_.size() >= config_.window)
+      window_open_.wait(lock.native());
     if (stopped_) return false;
 
     id = next_id_++;
@@ -88,10 +87,9 @@ std::optional<Bytes> Client::invoke(Bytes payload, std::uint8_t flags) {
 }
 
 void Client::drain() {
-  std::unique_lock lock(mutex_);
-  window_open_.wait(lock, [&] {
-    return stopped_ || (pending_.empty() && callbacks_in_flight_ == 0);
-  });
+  CvLock lock(mutex_);
+  while (!stopped_ && !(pending_.empty() && callbacks_in_flight_ == 0))
+    window_open_.wait(lock.native());
 }
 
 void Client::run() {
@@ -105,7 +103,7 @@ void Client::run() {
   // Fail outstanding invocations so synchronous callers unblock.
   std::unordered_map<protocol::RequestId, Pending> orphans;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     orphans.swap(pending_);
   }
   for (auto& [id, p] : orphans)
@@ -131,7 +129,7 @@ void Client::handle_reply(transport::ReceivedFrame& frame) {
   Bytes result;
   std::uint64_t latency = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = pending_.find(reply->id);
     if (it == pending_.end()) return;  // already stable or stale
     Pending& p = it->second;
@@ -158,7 +156,7 @@ void Client::handle_reply(transport::ReceivedFrame& frame) {
   if (done) {
     done(std::move(result), latency);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --callbacks_in_flight_;
     }
     window_open_.notify_all();
@@ -168,7 +166,7 @@ void Client::handle_reply(transport::ReceivedFrame& frame) {
 void Client::retransmit_due(std::uint64_t now) {
   std::vector<Bytes> frames;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [id, p] : pending_) {
       if (now >= p.deadline_us) {
         p.deadline_us = now + config_.retransmit_timeout_us;

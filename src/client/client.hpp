@@ -11,7 +11,6 @@
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/histogram.hpp"
@@ -59,9 +58,19 @@ class Client {
   /// Blocks until every outstanding request completed.
   void drain();
 
-  const Histogram& latencies() const { return latencies_; }
-  std::uint64_t completed() const { return completed_; }
-  std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Snapshot accessors: safe to call from any thread at any time.
+  Histogram latencies() const {
+    MutexLock lock(mutex_);
+    return latencies_;
+  }
+  std::uint64_t completed() const {
+    MutexLock lock(mutex_);
+    return completed_;
+  }
+  std::uint64_t retransmissions() const {
+    MutexLock lock(mutex_);
+    return retransmissions_;
+  }
   protocol::ClientId id() const { return config_.id; }
 
  private:
@@ -90,18 +99,19 @@ class Client {
   std::shared_ptr<transport::Inbox> inbox_;
   std::jthread thread_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable window_open_;
-  std::unordered_map<protocol::RequestId, Pending> pending_;
-  protocol::RequestId next_id_ = 1;
+  std::unordered_map<protocol::RequestId, Pending> pending_
+      COP_GUARDED_BY(mutex_);
+  protocol::RequestId next_id_ COP_GUARDED_BY(mutex_) = 1;
   /// Completions whose user callback has not returned yet; drain() waits
   /// for these too so callers observe all effects of their callbacks.
-  std::uint32_t callbacks_in_flight_ = 0;
-  bool stopped_ = false;
+  std::uint32_t callbacks_in_flight_ COP_GUARDED_BY(mutex_) = 0;
+  bool stopped_ COP_GUARDED_BY(mutex_) = false;
 
-  Histogram latencies_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t retransmissions_ = 0;
+  Histogram latencies_ COP_GUARDED_BY(mutex_);
+  std::uint64_t completed_ COP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retransmissions_ COP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace copbft::client

@@ -1,0 +1,39 @@
+#include "common/invariant.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace copbft {
+namespace {
+
+std::atomic<InvariantHandler> g_handler{nullptr};
+
+}  // namespace
+
+InvariantHandler set_invariant_handler(InvariantHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void invariant_failed(const char* file, int line, const char* expression,
+                      const char* fmt, ...) {
+  InvariantViolation v;
+  v.file = file;
+  v.line = line;
+  v.expression = expression;
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(v.message, sizeof v.message, fmt, args);
+  va_end(args);
+
+  if (InvariantHandler handler = g_handler.load(std::memory_order_acquire)) {
+    handler(v);
+    return;
+  }
+  std::fprintf(stderr, "COP invariant violated at %s:%d: %s\n  %s\n", file,
+               line, expression, v.message);
+  std::abort();
+}
+
+}  // namespace copbft

@@ -1,0 +1,62 @@
+// Runtime checker for COP-specific protocol invariants.
+//
+// COP_INVARIANT(cond, fmt, ...) asserts properties the paper's correctness
+// argument rests on (sequence-space partitioning c(p,i) = p + i*NP, the
+// hole-free total order, the checkpoint drift bound of §3.4/§4.2.2) at the
+// seams between threads and stages. On violation it reports file, line,
+// the failed expression and a printf-formatted message, then aborts —
+// unless a handler was installed (tests use this to capture the firing
+// instead of dying).
+//
+// Compile-time gating: sites compile to nothing when COP_INVARIANTS_ENABLED
+// is 0. The build defines it via the COP_ENABLE_INVARIANTS CMake option
+// (default ON; turn OFF for maximum-performance release binaries). Without
+// a build-system definition it follows NDEBUG: on in Debug, off in Release.
+#pragma once
+
+#include <cstdint>
+
+#ifndef COP_INVARIANTS_ENABLED
+#ifdef NDEBUG
+#define COP_INVARIANTS_ENABLED 0
+#else
+#define COP_INVARIANTS_ENABLED 1
+#endif
+#endif
+
+namespace copbft {
+
+/// Everything known about a violated invariant.
+struct InvariantViolation {
+  const char* file = nullptr;
+  int line = 0;
+  const char* expression = nullptr;  ///< the failed condition, verbatim
+  char message[256] = {};            ///< formatted context
+};
+
+/// Called when an invariant fails. Returning (instead of aborting) lets
+/// tests observe the firing; production code must treat the replica as
+/// compromised afterwards.
+using InvariantHandler = void (*)(const InvariantViolation&);
+
+/// Installs `handler` process-wide and returns the previous one; nullptr
+/// restores the default abort-with-context behaviour. Thread-safe:
+/// invariants fire on pillar/execution/transport threads.
+InvariantHandler set_invariant_handler(InvariantHandler handler);
+
+/// Reports a violation to the installed handler, or prints it to stderr
+/// and aborts when none is installed. Never called directly; use
+/// COP_INVARIANT.
+void invariant_failed(const char* file, int line, const char* expression,
+                      const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace copbft
+
+/// Asserts a COP protocol invariant. `cond` must be side-effect free: it is
+/// not evaluated when invariants are compiled out.
+#define COP_INVARIANT(cond, ...)                                        \
+  do {                                                                  \
+    if (COP_INVARIANTS_ENABLED && !(cond))                              \
+      ::copbft::invariant_failed(__FILE__, __LINE__, #cond, __VA_ARGS__); \
+  } while (0)

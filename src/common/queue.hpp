@@ -9,9 +9,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/threading.hpp"
 
 namespace copbft {
 
@@ -30,8 +31,8 @@ class BoundedQueue {
 
   /// Blocking push; returns false iff the queue was closed.
   bool push(T value) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    CvLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock.native());
     if (closed_) return false;
     items_.push_back(std::move(value));
     lock.unlock();
@@ -42,7 +43,7 @@ class BoundedQueue {
   /// Non-blocking push; returns false when full or closed.
   bool try_push(T value) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -52,8 +53,8 @@ class BoundedQueue {
 
   /// Blocking pop; nullopt iff closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    CvLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock.native());
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -64,9 +65,13 @@ class BoundedQueue {
 
   /// Pop with timeout; nullopt on timeout or on closed-and-drained.
   std::optional<T> pop_for(std::chrono::microseconds timeout) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return closed_ || !items_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    CvLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (not_empty_.wait_until(lock.native(), deadline) ==
+          std::cv_status::timeout)
+        break;
+    }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -77,7 +82,7 @@ class BoundedQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
+    CvLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -89,8 +94,8 @@ class BoundedQueue {
   /// Pops everything currently queued (blocking until at least one element
   /// or close). Reduces wake-ups for batch-style consumers.
   std::deque<T> pop_all() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    CvLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock.native());
     std::deque<T> out;
     out.swap(items_);
     lock.unlock();
@@ -100,7 +105,7 @@ class BoundedQueue {
 
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -108,12 +113,12 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -121,11 +126,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ COP_GUARDED_BY(mutex_);
+  bool closed_ COP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace copbft

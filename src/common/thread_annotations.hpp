@@ -1,0 +1,68 @@
+// Clang thread-safety annotation macros.
+//
+// These expand to clang's capability analysis attributes when compiling
+// with clang (where -Wthread-safety turns lock-discipline violations into
+// compile errors) and to nothing elsewhere, so gcc builds are unaffected.
+// Conventions are documented in docs/correctness.md; the annotated lock
+// types that carry these attributes live in common/threading.hpp.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define COP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef COP_THREAD_ANNOTATION
+#define COP_THREAD_ANNOTATION(x)  // not clang: no-op
+#endif
+
+/// Marks a type as a capability (a lock). `x` names the capability kind in
+/// diagnostics, e.g. COP_CAPABILITY("mutex").
+#define COP_CAPABILITY(x) COP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define COP_SCOPED_CAPABILITY COP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define COP_GUARDED_BY(x) COP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define COP_PT_GUARDED_BY(x) COP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define COP_REQUIRES(...) \
+  COP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define COP_REQUIRES_SHARED(...) \
+  COP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the listed capabilities.
+#define COP_ACQUIRE(...) \
+  COP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define COP_ACQUIRE_SHARED(...) \
+  COP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define COP_RELEASE(...) \
+  COP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define COP_RELEASE_SHARED(...) \
+  COP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define COP_TRY_ACQUIRE(...) \
+  COP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the listed capabilities (deadlock
+/// prevention for non-reentrant locks).
+#define COP_EXCLUDES(...) COP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the calling thread already holds `x` in a way the
+/// analysis cannot see (e.g. handed over through a queue).
+#define COP_ASSERT_CAPABILITY(x) \
+  COP_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define COP_RETURN_CAPABILITY(x) COP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline cannot be expressed.
+#define COP_NO_THREAD_SAFETY_ANALYSIS \
+  COP_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,13 +1,78 @@
-// Thread helpers: named joining threads.
+// Thread helpers: named joining threads and annotated lock types.
+//
+// Mutex/MutexLock/CvLock wrap the standard primitives with clang
+// thread-safety attributes (see common/thread_annotations.hpp). libstdc++'s
+// std::mutex carries no capability annotations, so the analysis can only
+// check lock discipline when code locks through these wrappers.
 #pragma once
 
 #include <pthread.h>
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
+
 namespace copbft {
+
+/// Annotated std::mutex. Use COP_GUARDED_BY(mutex_) on the data it
+/// protects and lock it through MutexLock or CvLock.
+class COP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() COP_ACQUIRE() { mutex_.lock(); }
+  void unlock() COP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() COP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The underlying mutex, for interop that the analysis cannot follow.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock held for a full scope (std::lock_guard equivalent).
+class COP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) COP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() COP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII lock for condition-variable waits: exposes the std::unique_lock
+/// that std::condition_variable requires and supports early unlock (the
+/// unlock-before-notify pattern). A wait releases and reacquires the mutex
+/// internally; from the analysis' perspective the capability is held
+/// throughout, which matches what the waiting code may assume.
+class COP_SCOPED_CAPABILITY CvLock {
+ public:
+  explicit CvLock(Mutex& mutex) COP_ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~CvLock() COP_RELEASE() {}
+
+  CvLock(const CvLock&) = delete;
+  CvLock& operator=(const CvLock&) = delete;
+
+  void unlock() COP_RELEASE() { lock_.unlock(); }
+
+  /// For std::condition_variable::wait*(...) only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
 
 /// Sets the current thread's name (visible in /proc, debuggers, perf).
 inline void set_current_thread_name(const std::string& name) {

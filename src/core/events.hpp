@@ -56,6 +56,11 @@ struct CommittedBatch {
   std::shared_ptr<const std::vector<protocol::Request>> requests;
   /// Which pillar/logic unit completed it (reply routing, stats).
   std::uint32_t pillar = 0;
+  /// The emitting core's stable checkpoint at delivery time — the
+  /// authority under which `seq` was inside the watermark window. The
+  /// execution stage asserts the paper's drift bound against this (its
+  /// own frontier may legitimately lag a stability the peers voted).
+  protocol::SeqNum stable_basis = 0;
 };
 
 }  // namespace copbft::core

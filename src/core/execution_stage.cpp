@@ -1,5 +1,6 @@
 #include "core/execution_stage.hpp"
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
 #include "core/outbound.hpp"
@@ -9,6 +10,19 @@ namespace {
 
 constexpr std::size_t kReplyCachePerClient = 32;
 constexpr std::uint64_t kDedupWindow = 4096;
+
+/// Two commits for the same sequence number must carry the same batch;
+/// anything else means the total order forked.
+bool equivalent_batches(const CommittedBatch& a, const CommittedBatch& b) {
+  const bool a_noop = !a.requests || a.requests->empty();
+  const bool b_noop = !b.requests || b.requests->empty();
+  if (a_noop || b_noop) return a_noop == b_noop;
+  if (a.requests->size() != b.requests->size()) return false;
+  for (std::size_t i = 0; i < a.requests->size(); ++i) {
+    if ((*a.requests)[i].key() != (*b.requests)[i].key()) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -42,38 +56,84 @@ void ExecutionStage::run() {
     auto batch = queue_.pop_for(poll);
     if (!batch && queue_.closed()) return;
     if (batch) {
-      if (batch->seq >= next_seq_ && !reorder_.contains(batch->seq))
-        reorder_.emplace(batch->seq, std::move(*batch));
+      admit(std::move(*batch));
       // Drain whatever else is already queued before executing: cheap and
       // increases the chance the reorder buffer can run a long streak.
-      while (auto more = queue_.try_pop()) {
-        if (more->seq >= next_seq_ && !reorder_.contains(more->seq))
-          reorder_.emplace(more->seq, std::move(*more));
-      }
+      while (auto more = queue_.try_pop()) admit(std::move(*more));
     }
     apply_ready();
     check_gap(now_us());
   }
 }
 
+void ExecutionStage::admit(CommittedBatch batch) {
+  const std::uint32_t np = config_.num_pillars;
+  COP_INVARIANT(batch.seq != 0,
+                "sequence number 0 is genesis and must never commit "
+                "(pillar %u)",
+                batch.pillar);
+  // Paper §4.2.1: pillar p owns exactly the numbers c(p,i) = p + i*NP.
+  COP_INVARIANT(batch.pillar < np && batch.seq % np == batch.pillar,
+                "seq %llu delivered by pillar %u breaks the c(p,i)=p+i*NP "
+                "partition (NP=%u)",
+                static_cast<unsigned long long>(batch.seq), batch.pillar, np);
+
+  const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
+  if (batch.seq < next) return;  // stale redelivery (e.g. after view change)
+
+  // Paper §3.4/§4.2.2: commits may only run `window` past the stable
+  // checkpoint. The bound is checked against the emitting core's stable
+  // seq (carried in the batch), not this stage's frontier: a replica that
+  // learns stability from its peers' votes can legitimately buffer
+  // commits further ahead than its own execution has reached.
+  COP_INVARIANT(
+      batch.seq <= batch.stable_basis + config_.protocol.window,
+      "seq %llu exceeds the checkpoint-window drift bound: stable "
+      "checkpoint %llu + window %llu",
+      static_cast<unsigned long long>(batch.seq),
+      static_cast<unsigned long long>(batch.stable_basis),
+      static_cast<unsigned long long>(config_.protocol.window));
+
+  auto it = reorder_.find(batch.seq);
+  if (it != reorder_.end()) {
+    // A duplicate commit is tolerated, a conflicting one is a fork: two
+    // different batches for one slot can not both enter the total order.
+    COP_INVARIANT(equivalent_batches(it->second, batch),
+                  "conflicting commits for seq %llu: the total order would "
+                  "fork or leave a hole",
+                  static_cast<unsigned long long>(batch.seq));
+    return;
+  }
+  reorder_.emplace(batch.seq, std::move(batch));
+}
+
 void ExecutionStage::apply_ready() {
   while (true) {
-    auto it = reorder_.find(next_seq_);
+    const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
+    auto it = reorder_.find(next);
     if (it == reorder_.end()) break;
     execute_batch(it->second);
     reorder_.erase(it);
-    stats_.last_executed_seq = next_seq_;
-    maybe_checkpoint(next_seq_);
-    ++next_seq_;
+    {
+      MutexLock lock(stats_mutex_);
+      stats_.last_executed_seq = next;
+    }
+    maybe_checkpoint(next);
+    next_seq_.store(next + 1, std::memory_order_relaxed);
     stall_since_us_ = 0;
   }
 }
 
 void ExecutionStage::execute_batch(const CommittedBatch& batch) {
-  ++stats_.batches_executed;
   if (!batch.requests || batch.requests->empty()) {
+    MutexLock lock(stats_mutex_);
+    ++stats_.batches_executed;
     ++stats_.noops_executed;
     return;
+  }
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.batches_executed;
   }
   for (const protocol::Request& req : *batch.requests)
     execute_request(req, batch.view);
@@ -103,7 +163,10 @@ void ExecutionStage::execute_request(const protocol::Request& request,
                                      protocol::ViewId view) {
   ClientState& state = clients_[request.client];
   if (already_executed(state, request.id)) {
-    ++stats_.duplicates_suppressed;
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.duplicates_suppressed;
+    }
     // Retransmission of an executed request: resend the cached reply.
     for (const auto& [id, result] : state.replies) {
       if (id == request.id) {
@@ -116,16 +179,20 @@ void ExecutionStage::execute_request(const protocol::Request& request,
 
   Bytes result = service_.execute(request);
   record_executed(state, request.id);
-  ++stats_.requests_executed;
+  const bool omit = config_.reply_mode == ReplyMode::kOmitOne &&
+                    config_.omitted_replier(request.key()) == self_;
+  {
+    // One critical section: an observer that sees the request counted
+    // must also see its omission counted (tests sum both).
+    MutexLock lock(stats_mutex_);
+    ++stats_.requests_executed;
+    if (omit) ++stats_.replies_omitted;
+  }
 
   state.replies.emplace_back(request.id, result);
   if (state.replies.size() > kReplyCachePerClient) state.replies.pop_front();
 
-  if (config_.reply_mode == ReplyMode::kOmitOne &&
-      config_.omitted_replier(request.key()) == self_) {
-    ++stats_.replies_omitted;
-    return;
-  }
+  if (omit) return;
   send_reply(request.client, request.id, view,
              service_.post_process(request, std::move(result)));
 }
@@ -139,12 +206,16 @@ void ExecutionStage::send_reply(protocol::ClientId client,
                              {protocol::client_node(client)});
   transport_.send(protocol::client_node(client), /*lane=*/0,
                   std::move(frame));
+  MutexLock lock(stats_mutex_);
   ++stats_.replies_sent;
 }
 
 void ExecutionStage::maybe_checkpoint(protocol::SeqNum seq) {
   if (seq % config_.protocol.checkpoint_interval != 0) return;
-  ++stats_.checkpoints_triggered;
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.checkpoints_triggered;
+  }
   crypto::Digest digest = service_.state_digest();
   // Round-robin checkpoint ownership across pillars (paper §4.2.2).
   std::uint32_t owner = static_cast<std::uint32_t>(
@@ -164,7 +235,10 @@ void ExecutionStage::check_gap(std::uint64_t now) {
   }
   if (now - stall_since_us_ < config_.gap_timeout_us) return;
   stall_since_us_ = now;
-  ++stats_.gap_fills_requested;
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.gap_fills_requested;
+  }
   protocol::SeqNum target = reorder_.rbegin()->first;
   for (std::uint32_t p = 0; p < config_.num_pillars; ++p)
     command_(p, FillGap{target});

@@ -14,6 +14,7 @@
 //     instances (paper §4.2.1).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -56,8 +57,14 @@ class ExecutionStage {
   /// Called by any pillar thread when an instance commits.
   bool submit(CommittedBatch batch) { return queue_.push(std::move(batch)); }
 
-  const ExecutionStats& stats() const { return stats_; }
-  protocol::SeqNum next_seq() const { return next_seq_; }
+  /// Snapshot of the counters; safe to call from any thread while running.
+  ExecutionStats stats() const {
+    MutexLock lock(stats_mutex_);
+    return stats_;
+  }
+  protocol::SeqNum next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ClientState {
@@ -70,6 +77,8 @@ class ExecutionStage {
   };
 
   void run();
+  /// Invariant-checks an incoming batch and files it in the reorder buffer.
+  void admit(CommittedBatch batch);
   void apply_ready();
   void execute_batch(const CommittedBatch& batch);
   void execute_request(const protocol::Request& request,
@@ -89,11 +98,14 @@ class ExecutionStage {
   CommandFn command_;
 
   BoundedQueue<CommittedBatch> queue_;
+  // reorder_, clients_ and stall_since_us_ are owned by the stage thread;
+  // the cross-thread hand-off is the queue itself.
   std::map<protocol::SeqNum, CommittedBatch> reorder_;
-  protocol::SeqNum next_seq_ = 1;
+  std::atomic<protocol::SeqNum> next_seq_{1};
   std::unordered_map<protocol::ClientId, ClientState> clients_;
   std::uint64_t stall_since_us_ = 0;
-  ExecutionStats stats_;
+  mutable Mutex stats_mutex_;
+  ExecutionStats stats_ COP_GUARDED_BY(stats_mutex_);
   std::jthread thread_;
 };
 

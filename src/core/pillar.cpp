@@ -1,5 +1,6 @@
 #include "core/pillar.hpp"
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
 
@@ -47,7 +48,10 @@ void Pillar::run() {
   const auto poll = std::chrono::microseconds(1000);
   while (true) {
     auto event = queue_.pop_for(poll);
-    if (!event && queue_.closed()) return;
+    if (!event && queue_.closed()) {
+      publish_stats();
+      return;
+    }
     // Commands are few but urgent (checkpoint stability slides the
     // window); drain them first.
     while (auto command = commands_.try_pop()) handle_command(*command);
@@ -62,7 +66,13 @@ void Pillar::run() {
     }
     core_.tick(now_us());
     drain_effects();
+    publish_stats();
   }
+}
+
+void Pillar::publish_stats() {
+  MutexLock lock(stats_mutex_);
+  stats_snapshot_ = core_.stats();
 }
 
 void Pillar::handle_frame(transport::ReceivedFrame& frame) {
@@ -100,6 +110,18 @@ void Pillar::feed_request(protocol::Request req, bool verified) {
 
 void Pillar::handle_command(const PillarCommand& command) {
   if (const auto* cp = std::get_if<StartCheckpoint>(&command)) {
+    // Checkpoint agreements are distributed round-robin over the pillars
+    // (paper §4.2.2); running one on the wrong pillar would agree the
+    // checkpoint on the wrong lane and desynchronize log truncation.
+    COP_INVARIANT(
+        (cp->seq / config_.protocol.checkpoint_interval) %
+                config_.num_pillars ==
+            index_,
+        "checkpoint at seq %llu routed to pillar %u, owner is %llu",
+        static_cast<unsigned long long>(cp->seq), index_,
+        static_cast<unsigned long long>(
+            (cp->seq / config_.protocol.checkpoint_interval) %
+            config_.num_pillars));
     core_.start_checkpoint(cp->seq, cp->digest, now_us());
   } else if (const auto* stable = std::get_if<NoteStable>(&command)) {
     core_.note_checkpoint_stable(stable->seq, stable->digest);
@@ -116,7 +138,8 @@ void Pillar::drain_effects() {
       outbound_.send_to(send->to, std::move(send->msg), index_);
     } else if (auto* deliver = std::get_if<protocol::Deliver>(&effect)) {
       exec_.submit(CommittedBatch{deliver->seq, deliver->view,
-                                  std::move(deliver->requests), index_});
+                                  std::move(deliver->requests), index_,
+                                  core_.stable_seq()});
     } else if (auto* stable = std::get_if<protocol::CheckpointStable>(&effect)) {
       if (on_stable_) on_stable_(stable->seq, stable->digest, index_);
     } else if (auto* vc = std::get_if<protocol::ViewChanged>(&effect)) {

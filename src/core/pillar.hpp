@@ -53,12 +53,20 @@ class Pillar final : public transport::FrameSink {
   }
 
   std::uint32_t index() const { return index_; }
-  /// Core statistics; safe to read after stop().
-  const protocol::CoreStats& core_stats() const { return core_.stats(); }
+  /// Core statistics. Returns the snapshot the pillar thread published at
+  /// its last loop turn (and finally at exit), so concurrent reads are
+  /// safe while the pillar runs and exact after stop().
+  protocol::CoreStats core_stats() const {
+    MutexLock lock(stats_mutex_);
+    return stats_snapshot_;
+  }
+  /// The protocol core. Only safe to inspect after stop(): the pillar
+  /// thread owns it while running.
   const protocol::PbftCore& core() const { return core_; }
 
  private:
   void run();
+  void publish_stats();
   void handle_frame(transport::ReceivedFrame& frame);
   void handle_prepared(PreparedInput& input);
   void handle_command(const PillarCommand& command);
@@ -78,6 +86,10 @@ class Pillar final : public transport::FrameSink {
   BoundedQueue<PillarCommand> commands_{1 << 16};
   protocol::CryptoVerifier verifier_;
   protocol::PbftCore core_;
+
+  mutable Mutex stats_mutex_;
+  protocol::CoreStats stats_snapshot_ COP_GUARDED_BY(stats_mutex_);
+
   std::jthread thread_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/invariant.hpp"
 #include "common/logging.hpp"
 
 namespace copbft::protocol {
@@ -437,6 +438,14 @@ void PbftCore::fill_gap_upto(SeqNum seq, std::uint64_t now_us) {
 void PbftCore::start_checkpoint(SeqNum seq, const crypto::Digest& digest,
                                 std::uint64_t now_us) {
   now_us_ = now_us;
+  // Paper §4.2.2: hosts agree checkpoints only at interval boundaries; a
+  // misaligned sequence number means the execution stage and the protocol
+  // core disagree about where the windows are.
+  COP_INVARIANT(seq != 0 && seq % config_.checkpoint_interval == 0,
+                "checkpoint requested at seq %llu, not a multiple of the "
+                "checkpoint interval %llu",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(config_.checkpoint_interval));
   if (seq <= stable_seq_) return;
   CheckpointState& state = checkpoints_[seq];
   if (state.have_own) return;
@@ -513,6 +522,13 @@ void PbftCore::make_stable(SeqNum seq, const crypto::Digest& digest,
 
 void PbftCore::note_checkpoint_stable(SeqNum seq,
                                       const crypto::Digest& digest) {
+  // Stability notices originate from a sibling pillar's agreed checkpoint,
+  // so they inherit the same interval alignment (paper §4.2.2).
+  COP_INVARIANT(seq != 0 && seq % config_.checkpoint_interval == 0,
+                "stability notice for seq %llu, not a multiple of the "
+                "checkpoint interval %llu",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(config_.checkpoint_interval));
   make_stable(seq, digest, false);
 }
 

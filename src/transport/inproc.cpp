@@ -14,7 +14,7 @@ bool InprocTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
 void InprocTransport::shutdown() { network_.shutdown_node(self_); }
 
 InprocTransport& InprocNetwork::endpoint(crypto::KeyNodeId node) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = endpoints_[node];
   if (!slot) slot = std::make_unique<InprocTransport>(*this, node);
   return *slot;
@@ -22,7 +22,7 @@ InprocTransport& InprocNetwork::endpoint(crypto::KeyNodeId node) {
 
 void InprocNetwork::register_sink(crypto::KeyNodeId node, LaneId lane,
                                   std::shared_ptr<FrameSink> sink) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_[{node, lane}] = std::move(sink);
 }
 
@@ -30,7 +30,7 @@ bool InprocNetwork::send(crypto::KeyNodeId from, crypto::KeyNodeId to,
                          LaneId lane, Bytes frame) {
   std::shared_ptr<FrameSink> sink;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (filter_ && !filter_(from, to, lane)) return true;
     auto it = sinks_.find({to, lane});
     if (it == sinks_.end()) return false;
@@ -42,13 +42,13 @@ bool InprocNetwork::send(crypto::KeyNodeId from, crypto::KeyNodeId to,
 }
 
 void InprocNetwork::shutdown_node(crypto::KeyNodeId node) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, sink] : sinks_)
     if (key.first == node && sink) sink->close();
 }
 
 void InprocNetwork::shutdown_all() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, sink] : sinks_)
     if (sink) sink->close();
 }

@@ -5,8 +5,8 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 
+#include "common/threading.hpp"
 #include "transport/transport.hpp"
 
 namespace copbft::transport {
@@ -42,7 +42,7 @@ class InprocNetwork {
   using DeliverFilter = std::function<bool(
       crypto::KeyNodeId from, crypto::KeyNodeId to, LaneId lane)>;
   void set_filter(DeliverFilter filter) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     filter_ = std::move(filter);
   }
 
@@ -54,11 +54,12 @@ class InprocNetwork {
   void shutdown_all();
 
  private:
-  std::mutex mutex_;
-  std::map<crypto::KeyNodeId, std::unique_ptr<InprocTransport>> endpoints_;
+  Mutex mutex_;
+  std::map<crypto::KeyNodeId, std::unique_ptr<InprocTransport>> endpoints_
+      COP_GUARDED_BY(mutex_);
   std::map<std::pair<crypto::KeyNodeId, LaneId>, std::shared_ptr<FrameSink>>
-      sinks_;
-  DeliverFilter filter_;
+      sinks_ COP_GUARDED_BY(mutex_);
+  DeliverFilter filter_ COP_GUARDED_BY(mutex_);
 };
 
 }  // namespace copbft::transport

@@ -43,33 +43,37 @@ TcpTransport::~TcpTransport() { shutdown(); }
 
 bool TcpTransport::start() {
   if (listen_port_ == 0) return true;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return false;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
   int yes = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(listen_port_);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
     return false;
   }
-  accept_thread_ = named_thread("tcp-accept", [this] { accept_loop(); });
+  {
+    MutexLock lock(mutex_);
+    listen_fd_ = fd;
+  }
+  // The accept loop works on its own copy of the fd; shutdown() closes
+  // listen_fd_ under the lock, which makes ::accept fail and the loop exit.
+  accept_thread_ = named_thread("tcp-accept", [this, fd] { accept_loop(fd); });
   return true;
 }
 
-void TcpTransport::accept_loop() {
+void TcpTransport::accept_loop(int listen_fd) {
   while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) return;  // listen socket closed during shutdown
     int yes = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       ::close(fd);
       return;
@@ -104,13 +108,13 @@ void TcpTransport::recv_loop(int fd) {
 }
 
 std::shared_ptr<FrameSink> TcpTransport::sink_for(LaneId lane) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sinks_.find(lane);
   return it == sinks_.end() ? nullptr : it->second;
 }
 
 void TcpTransport::register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_[lane] = std::move(sink);
 }
 
@@ -130,7 +134,7 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
   return fd;
 }
 
-bool TcpTransport::write_all(OutConn& conn, const Byte* data,
+bool TcpTransport::write_all(const OutConn& conn, const Byte* data,
                              std::size_t len) {
   while (len > 0) {
     ssize_t n = ::send(conn.fd, data, len, MSG_NOSIGNAL);
@@ -144,7 +148,7 @@ bool TcpTransport::write_all(OutConn& conn, const Byte* data,
 bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
   OutConn* conn = nullptr;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return false;
     auto& slot = outgoing_[{to, lane}];
     if (!slot) {
@@ -152,9 +156,10 @@ bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
       if (peer == peers_.end()) return false;
       int fd = connect_to(peer->second);
       if (fd < 0) return false;
-      slot = std::make_unique<OutConn>();
-      slot->fd = fd;
+      slot = std::make_unique<OutConn>(fd);
       Hello hello{self_, lane};
+      // The connection is not published yet: no writer contention, the
+      // registry lock alone covers the hello.
       if (!write_all(*slot, reinterpret_cast<const Byte*>(&hello),
                      sizeof hello)) {
         ::close(fd);
@@ -168,7 +173,7 @@ bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
   // Frame: u32 length (host order is fine: both ends are this code on the
   // same architecture family; the *protocol* encoding above is explicit).
   std::uint32_t len = static_cast<std::uint32_t>(frame.size());
-  std::lock_guard wlock(conn->write_mutex);
+  MutexLock wlock(conn->write_mutex);
   return write_all(*conn, reinterpret_cast<const Byte*>(&len), sizeof len) &&
          write_all(*conn, frame.data(), frame.size());
 }
@@ -177,7 +182,7 @@ void TcpTransport::shutdown() {
   std::vector<std::jthread> recv_threads;
   std::jthread accept_thread;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
     if (listen_fd_ >= 0) {

@@ -8,11 +8,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/threading.hpp"
 #include "transport/transport.hpp"
 
 namespace copbft::transport {
@@ -42,14 +42,18 @@ class TcpTransport final : public Transport {
   void shutdown() override;
 
  private:
+  /// One outgoing connection. `fd` is immutable after construction; the
+  /// mutex serializes writers so frames are never interleaved on the wire.
   struct OutConn {
-    int fd = -1;
-    std::mutex write_mutex;
+    explicit OutConn(int fd) : fd(fd) {}
+    const int fd;
+    Mutex write_mutex;
   };
 
   int connect_to(const TcpPeer& peer);
-  bool write_all(OutConn& conn, const Byte* data, std::size_t len);
-  void accept_loop();
+  static bool write_all(const OutConn& conn, const Byte* data,
+                        std::size_t len);
+  void accept_loop(int listen_fd);
   void recv_loop(int fd);
   std::shared_ptr<FrameSink> sink_for(LaneId lane);
 
@@ -57,14 +61,14 @@ class TcpTransport final : public Transport {
   const std::uint16_t listen_port_;
   const std::map<crypto::KeyNodeId, TcpPeer> peers_;
 
-  std::mutex mutex_;
-  std::map<LaneId, std::shared_ptr<FrameSink>> sinks_;
+  Mutex mutex_;
+  std::map<LaneId, std::shared_ptr<FrameSink>> sinks_ COP_GUARDED_BY(mutex_);
   std::map<std::pair<crypto::KeyNodeId, LaneId>, std::unique_ptr<OutConn>>
-      outgoing_;
-  std::vector<std::jthread> recv_threads_;
-  std::vector<int> accepted_fds_;
-  int listen_fd_ = -1;
-  bool stopping_ = false;
+      outgoing_ COP_GUARDED_BY(mutex_);
+  std::vector<std::jthread> recv_threads_ COP_GUARDED_BY(mutex_);
+  std::vector<int> accepted_fds_ COP_GUARDED_BY(mutex_);
+  int listen_fd_ COP_GUARDED_BY(mutex_) = -1;
+  bool stopping_ COP_GUARDED_BY(mutex_) = false;
   std::jthread accept_thread_;
 };
 

@@ -138,8 +138,9 @@ TEST_F(ExecutionStageTest, DuplicateRequestSuppressedAndReplyResent) {
 
 TEST_F(ExecutionStageTest, NoopBatchesAdvanceWithoutExecution) {
   start();
+  // seq 1 belongs to pillar 1 of 2 under c(p,i) = p + i*NP.
   stage_->submit(CommittedBatch{
-      1, 0, std::make_shared<std::vector<Request>>(), 0});
+      1, 0, std::make_shared<std::vector<Request>>(), 1});
   stage_->submit(batch(2, {5}));
   ASSERT_TRUE(wait_replies(1));
   EXPECT_EQ(stage_->stats().noops_executed, 1u);
@@ -172,10 +173,13 @@ TEST_F(ExecutionStageTest, CheckpointTriggeredAtIntervalWithRoundRobinOwner) {
 TEST_F(ExecutionStageTest, GapFillRequestedWhenStalled) {
   start();
   stage_->submit(batch(5, {50}));  // seqs 1-4 missing
-  ASSERT_TRUE(log_.wait_for([](const auto& commands) {
+  // Wait until *every* pillar got its fill request: the commands are
+  // issued one by one, so waiting for the first only would race the rest.
+  ASSERT_TRUE(log_.wait_for([&](const auto& commands) {
+    std::set<std::uint32_t> pillars;
     for (const auto& [pillar, cmd] : commands)
-      if (std::holds_alternative<FillGap>(cmd)) return true;
-    return false;
+      if (std::holds_alternative<FillGap>(cmd)) pillars.insert(pillar);
+    return pillars.size() >= config_.num_pillars;
   }));
   // Every pillar is asked to fill its slice up to the buffered frontier.
   std::set<std::uint32_t> asked;
