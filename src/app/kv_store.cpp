@@ -1,5 +1,7 @@
 #include "app/kv_store.hpp"
 
+#include <algorithm>
+
 #include "protocol/wire.hpp"
 
 namespace copbft::app {
@@ -87,6 +89,50 @@ Bytes KvStore::execute(const protocol::Request& request) {
     }
   }
   return KvResult{KvStatus::kBadRequest, {}}.encode();
+}
+
+Bytes KvStore::snapshot() const {
+  std::vector<const std::pair<const std::string, Bytes>*> entries;
+  entries.reserve(data_.size());
+  for (const auto& entry : data_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  Bytes out;
+  protocol::WireWriter w(out);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto* entry : entries) {
+    w.bytes(to_bytes(entry->first));
+    w.bytes(entry->second);
+  }
+  return out;
+}
+
+bool KvStore::restore(ByteSpan snapshot, const crypto::Digest& expect) {
+  protocol::WireReader r(snapshot);
+  std::uint32_t n = r.u32();
+  // Each entry occupies >= 8 bytes (two length prefixes); bound allocation.
+  if (!r.ok() || r.remaining() / 8 < n) return false;
+
+  std::unordered_map<std::string, Bytes> data;
+  data.reserve(n);
+  crypto::Digest digest;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = to_string(r.bytes());
+    Bytes value = r.bytes();
+    if (!r.ok()) return false;
+    auto [it, inserted] = data.emplace(std::move(key), std::move(value));
+    if (!inserted) return false;  // duplicate key: not a valid state
+    const crypto::Digest e = entry_digest(it->first, it->second);
+    for (std::size_t b = 0; b < digest.bytes.size(); ++b)
+      digest.bytes[b] ^= e.bytes[b];
+  }
+  if (!r.at_end()) return false;
+  if (digest != expect) return false;
+
+  data_ = std::move(data);
+  state_digest_ = digest;
+  return true;
 }
 
 }  // namespace copbft::app

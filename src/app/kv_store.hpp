@@ -41,6 +41,11 @@ class KvStore final : public Service {
   bool pre_validate(const protocol::Request& request) override {
     return KvOp::decode(request.payload).has_value();
   }
+  /// Canonical (sorted-by-key) encoding: [n u32 | (key bytes, value
+  /// bytes) * n]. Sorting is for reproducibility only — the XOR digest is
+  /// order-independent, so verification does not depend on it.
+  Bytes snapshot() const override;
+  bool restore(ByteSpan snapshot, const crypto::Digest& expect) override;
 
   std::size_t size() const { return data_.size(); }
   /// Direct read access for tests / state comparison.

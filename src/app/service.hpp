@@ -36,6 +36,20 @@ class Service {
   virtual Bytes post_process(const protocol::Request&, Bytes result) {
     return result;
   }
+
+  /// Serializes the full service state for checkpoint-based state
+  /// transfer. The encoding is the service's own; the only contract is
+  /// restore(snapshot(), state_digest()) == true on a fresh instance.
+  /// The default (empty + restore() == false) marks a service that cannot
+  /// be transferred; laggard replicas of such a service stay stranded.
+  virtual Bytes snapshot() const { return {}; }
+
+  /// Replaces the state with the decoded `snapshot` iff the restored
+  /// state's digest equals `expect`. Must be atomic: parse and verify into
+  /// scratch state first, swap last, so a Byzantine peer's bad snapshot
+  /// never leaves partial state behind. Returns false on parse failure or
+  /// digest mismatch, leaving the current state untouched.
+  virtual bool restore(ByteSpan, const crypto::Digest&) { return false; }
 };
 
 }  // namespace copbft::app

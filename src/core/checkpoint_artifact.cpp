@@ -1,0 +1,37 @@
+#include "core/checkpoint_artifact.hpp"
+
+#include "protocol/wire.hpp"
+
+namespace copbft::core {
+
+Bytes CheckpointArtifact::encode() const {
+  Bytes out;
+  out.reserve(4 + client_table.size() + 32 + 4 + service_snapshot.size());
+  protocol::WireWriter w(out);
+  w.bytes(client_table);
+  w.digest(service_digest);
+  w.bytes(service_snapshot);
+  return out;
+}
+
+std::optional<CheckpointArtifact> CheckpointArtifact::decode(ByteSpan data) {
+  protocol::WireReader r(data);
+  CheckpointArtifact a;
+  a.client_table = r.bytes();
+  a.service_digest = r.digest();
+  a.service_snapshot = r.bytes();
+  if (!r.at_end()) return std::nullopt;
+  return a;
+}
+
+crypto::Digest CheckpointArtifact::checkpoint_digest(
+    const crypto::CryptoProvider& crypto, ByteSpan client_table,
+    const crypto::Digest& service_digest) {
+  Bytes buf;
+  buf.reserve(client_table.size() + service_digest.bytes.size());
+  append(buf, client_table);
+  append(buf, service_digest.span());
+  return crypto.digest(buf);
+}
+
+}  // namespace copbft::core

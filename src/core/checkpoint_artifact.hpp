@@ -1,0 +1,47 @@
+// The unit of checkpoint-based state transfer.
+//
+// At every checkpoint boundary the execution stage digests not just the
+// service state but everything a laggard needs to resume as if it had
+// executed the prefix itself: the service state *and* the exactly-once
+// bookkeeping (per-client dedup windows + cached replies). Without the
+// latter, a restored replica would re-execute client retransmissions that
+// the rest of the cluster suppresses, and its state would diverge.
+//
+// The cluster agrees on composite_digest(); the service snapshot itself is
+// verified transitively — Service::restore() only succeeds if the restored
+// state's digest equals `service_digest`, which the composite covers.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/provider.hpp"
+
+namespace copbft::core {
+
+struct CheckpointArtifact {
+  /// Canonical encoding of the execution stage's client bookkeeping.
+  Bytes client_table;
+  /// Service::state_digest() at the checkpoint.
+  crypto::Digest service_digest;
+  /// Service::snapshot() at the checkpoint.
+  Bytes service_snapshot;
+
+  Bytes encode() const;
+  /// nullopt on any malformed input (never reads out of bounds).
+  static std::optional<CheckpointArtifact> decode(ByteSpan data);
+
+  crypto::Digest composite_digest(const crypto::CryptoProvider& crypto) const {
+    return checkpoint_digest(crypto, client_table, service_digest);
+  }
+
+  /// The cluster-agreed checkpoint digest: covers the client table and the
+  /// service-state digest. Computable without materializing a snapshot, so
+  /// replicas that never serve transfers (TOP/SMaRt baselines) pay nothing
+  /// beyond hashing the client table.
+  static crypto::Digest checkpoint_digest(const crypto::CryptoProvider& crypto,
+                                          ByteSpan client_table,
+                                          const crypto::Digest& service_digest);
+};
+
+}  // namespace copbft::core

@@ -15,13 +15,34 @@ CopReplica::CopReplica(ReplicaId self, ReplicaRuntimeConfig config,
             [this](std::uint32_t pillar, PillarCommand command) {
               pillars_[pillar]->post_command(std::move(command));
             }) {
+  // Laggard recovery: the manager serves the artifacts the execution
+  // stage produces and, when a pillar reports being stranded, fetches and
+  // installs a peer checkpoint, then slides every pillar's window to it.
+  state_ = std::make_shared<StateTransferManager>(
+      self_, config_, crypto, transport_, exec_,
+      [this](protocol::SeqNum seq, const crypto::Digest& digest,
+             protocol::SeqNum fetch_upto) {
+        for (auto& pillar : pillars_) {
+          pillar->post_command(NoteStable{seq, digest});
+          pillar->post_command(FetchMissing{fetch_upto});
+        }
+      });
+  exec_.set_snapshot_fn([this](protocol::SeqNum seq,
+                               const crypto::Digest& digest, Bytes artifact) {
+    state_->store_checkpoint(seq, digest, std::move(artifact));
+  });
+  transport_.register_sink(state_->lane(), state_);
+
   // Checkpoint stability found by one pillar is fanned out to siblings so
-  // all of them can truncate logs and stay within the drift bound.
+  // all of them can truncate logs and stay within the drift bound; the
+  // transfer manager learns it to mark held artifacts servable.
   auto on_stable = [this](protocol::SeqNum seq, const crypto::Digest& digest,
+                          const std::vector<protocol::ReplicaId>& voters,
                           std::uint32_t origin) {
     for (std::uint32_t q = 0; q < pillars_.size(); ++q) {
       if (q != origin) pillars_[q]->post_command(NoteStable{seq, digest});
     }
+    state_->note_stable(seq, digest, voters);
   };
 
   pillars_.reserve(config_.num_pillars);
@@ -29,12 +50,15 @@ CopReplica::CopReplica(ReplicaId self, ReplicaRuntimeConfig config,
     pillars_.push_back(std::make_shared<Pillar>(
         self_, p, config_, crypto, transport_, exec_, outbound_,
         service_.get(), on_stable));
+    pillars_.back()->set_catch_up_hint(
+        [this](protocol::SeqNum observed) { state_->note_peer_ahead(observed); });
     transport_.register_sink(p, pillars_.back());
   }
 }
 
 void CopReplica::start() {
   exec_.start();
+  state_->start();
   for (auto& pillar : pillars_) pillar->start();
 }
 
@@ -42,6 +66,7 @@ void CopReplica::stop() {
   if (stopped_) return;
   stopped_ = true;
   for (auto& pillar : pillars_) pillar->stop();
+  state_->stop();
   exec_.stop();
 }
 

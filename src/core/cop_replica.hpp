@@ -10,6 +10,7 @@
 
 #include "core/pillar.hpp"
 #include "core/replica.hpp"
+#include "core/state_transfer.hpp"
 
 namespace copbft::core {
 
@@ -31,6 +32,8 @@ class CopReplica final : public Replica {
 
   const app::Service& service() const { return *service_; }
   const Pillar& pillar(std::uint32_t p) const { return *pillars_[p]; }
+  /// Counters of the checkpoint-based state-transfer path.
+  StateTransferStats state_transfer_stats() const { return state_->stats(); }
 
  private:
   const ReplicaId self_;
@@ -39,6 +42,7 @@ class CopReplica final : public Replica {
   transport::Transport& transport_;
   InPlaceOutbound outbound_;
   ExecutionStage exec_;
+  std::shared_ptr<StateTransferManager> state_;
   std::vector<std::shared_ptr<Pillar>> pillars_;
   bool stopped_ = false;
 };

@@ -1,6 +1,7 @@
 // Events flowing between the threads of a replica.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <variant>
 
@@ -28,11 +29,22 @@ struct NoteStable {
 
 /// The total order is stalled waiting for sequence numbers up to `seq`;
 /// fill the slice's share with pending requests or no-ops (paper §4.2.1).
+/// `frontier` is the execution stage's next needed sequence number (0 =
+/// unknown) — the core uses it to detect that the needed certificates were
+/// already truncated cluster-wide (state-transfer trigger).
 struct FillGap {
   protocol::SeqNum seq = 0;
+  protocol::SeqNum frontier = 0;
 };
 
-using PillarCommand = std::variant<StartCheckpoint, NoteStable, FillGap>;
+/// A checkpoint install slid the window; (re-)fetch the proposals for the
+/// slice's still-open sequence numbers up to `upto`.
+struct FetchMissing {
+  protocol::SeqNum upto = 0;
+};
+
+using PillarCommand =
+    std::variant<StartCheckpoint, NoteStable, FillGap, FetchMissing>;
 
 /// A message that an upstream stage already decoded (and possibly
 /// verified): the ingress stage of TOP, the verification workers of the
@@ -61,6 +73,19 @@ struct CommittedBatch {
   /// execution stage asserts the paper's drift bound against this (its
   /// own frontier may legitimately lag a stability the peers voted).
   protocol::SeqNum stable_basis = 0;
+};
+
+/// Install a fetched stable checkpoint into the execution stage: restore
+/// the service, rebuild the exactly-once bookkeeping, drop the reorder
+/// buffer at or below `seq` and advance the frontier to seq+1.
+struct InstallState {
+  protocol::SeqNum seq = 0;
+  /// Cluster-agreed composite checkpoint digest the artifact must match.
+  crypto::Digest digest;
+  /// Encoded CheckpointArtifact (client table + service snapshot).
+  Bytes artifact;
+  /// Completion callback, run on the stage thread (false = rejected).
+  std::function<void(bool)> done;
 };
 
 }  // namespace copbft::core

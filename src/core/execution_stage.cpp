@@ -1,9 +1,13 @@
 #include "core/execution_stage.hpp"
 
+#include <algorithm>
+
 #include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
+#include "core/checkpoint_artifact.hpp"
 #include "core/outbound.hpp"
+#include "protocol/wire.hpp"
 
 namespace copbft::core {
 namespace {
@@ -53,16 +57,24 @@ void ExecutionStage::run() {
   const auto poll = std::chrono::microseconds(
       std::max<std::uint64_t>(config_.gap_timeout_us / 2, 500));
   while (true) {
-    auto batch = queue_.pop_for(poll);
-    if (!batch && queue_.closed()) return;
-    if (batch) {
-      admit(std::move(*batch));
+    auto input = queue_.pop_for(poll);
+    if (!input && queue_.closed()) return;
+    if (input) {
+      admit_input(std::move(*input));
       // Drain whatever else is already queued before executing: cheap and
       // increases the chance the reorder buffer can run a long streak.
-      while (auto more = queue_.try_pop()) admit(std::move(*more));
+      while (auto more = queue_.try_pop()) admit_input(std::move(*more));
     }
     apply_ready();
     check_gap(now_us());
+  }
+}
+
+void ExecutionStage::admit_input(Input input) {
+  if (auto* batch = std::get_if<CommittedBatch>(&input)) {
+    admit(std::move(*batch));
+  } else {
+    handle_install(std::move(std::get<InstallState>(input)));
   }
 }
 
@@ -216,7 +228,18 @@ void ExecutionStage::maybe_checkpoint(protocol::SeqNum seq) {
     MutexLock lock(stats_mutex_);
     ++stats_.checkpoints_triggered;
   }
-  crypto::Digest digest = service_.state_digest();
+  // The agreed checkpoint digest covers the service state *and* the
+  // exactly-once client bookkeeping: both are part of what a transferred
+  // replica must resume with (see checkpoint_artifact.hpp).
+  Bytes client_table = encode_client_table();
+  const crypto::Digest service_digest = service_.state_digest();
+  const crypto::Digest digest = CheckpointArtifact::checkpoint_digest(
+      crypto_, client_table, service_digest);
+  if (snapshot_fn_) {
+    CheckpointArtifact artifact{std::move(client_table), service_digest,
+                                service_.snapshot()};
+    snapshot_fn_(seq, digest, artifact.encode());
+  }
   // Round-robin checkpoint ownership across pillars (paper §4.2.2).
   std::uint32_t owner = static_cast<std::uint32_t>(
       (seq / config_.protocol.checkpoint_interval) % config_.num_pillars);
@@ -240,8 +263,129 @@ void ExecutionStage::check_gap(std::uint64_t now) {
     ++stats_.gap_fills_requested;
   }
   protocol::SeqNum target = reorder_.rbegin()->first;
+  const protocol::SeqNum frontier = next_seq_.load(std::memory_order_relaxed);
   for (std::uint32_t p = 0; p < config_.num_pillars; ++p)
-    command_(p, FillGap{target});
+    command_(p, FillGap{target, frontier});
+}
+
+// --------------------------------------------------------------------------
+// state transfer: checkpoint install + client-table codec
+
+Bytes ExecutionStage::encode_client_table() const {
+  std::vector<protocol::ClientId> ids;
+  ids.reserve(clients_.size());
+  for (const auto& [id, state] : clients_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  Bytes out;
+  protocol::WireWriter w(out);
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (protocol::ClientId id : ids) {
+    const ClientState& state = clients_.at(id);
+    w.u32(id);
+    w.u64(state.max_done);
+    std::vector<protocol::RequestId> done(state.done.begin(),
+                                          state.done.end());
+    std::sort(done.begin(), done.end());
+    w.u32(static_cast<std::uint32_t>(done.size()));
+    for (protocol::RequestId rid : done) w.u64(rid);
+    w.u32(static_cast<std::uint32_t>(state.replies.size()));
+    for (const auto& [rid, reply] : state.replies) {
+      w.u64(rid);
+      w.bytes(reply);
+    }
+  }
+  return out;
+}
+
+bool ExecutionStage::decode_client_table(
+    ByteSpan table,
+    std::unordered_map<protocol::ClientId, ClientState>& out) const {
+  protocol::WireReader r(table);
+  std::uint32_t n_clients = r.u32();
+  // Each client record occupies >= 20 bytes; bound allocations.
+  if (!r.ok() || r.remaining() / 20 < n_clients) return false;
+  out.reserve(n_clients);
+  for (std::uint32_t i = 0; i < n_clients; ++i) {
+    protocol::ClientId id = r.u32();
+    ClientState state;
+    state.max_done = r.u64();
+    std::uint32_t n_done = r.u32();
+    if (!r.ok() || r.remaining() / 8 < n_done) return false;
+    state.done.reserve(n_done);
+    for (std::uint32_t d = 0; d < n_done; ++d) state.done.insert(r.u64());
+    std::uint32_t n_replies = r.u32();
+    if (!r.ok() || r.remaining() / 12 < n_replies) return false;
+    for (std::uint32_t q = 0; q < n_replies && r.ok(); ++q) {
+      protocol::RequestId rid = r.u64();
+      state.replies.emplace_back(rid, r.bytes());
+    }
+    if (!r.ok()) return false;
+    if (!out.emplace(id, std::move(state)).second) return false;
+  }
+  return r.at_end();
+}
+
+void ExecutionStage::handle_install(InstallState install) {
+  const auto reject = [&] {
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.installs_rejected;
+    }
+    if (install.done) install.done(false);
+  };
+
+  // Checkpoints exist only at interval boundaries; a misaligned install
+  // means the transfer path and the protocol disagree about the windows.
+  const std::uint64_t interval = config_.protocol.checkpoint_interval;
+  COP_INVARIANT(install.seq != 0 && install.seq % interval == 0,
+                "state install at seq %llu, not a multiple of the "
+                "checkpoint interval %llu",
+                static_cast<unsigned long long>(install.seq),
+                static_cast<unsigned long long>(interval));
+  // Windows never regress: no install may move the frontier below a
+  // checkpoint this stage already installed (execution below an installed
+  // checkpoint would re-apply history onto newer state).
+  COP_INVARIANT(install.seq >= installed_floor_,
+                "state install at seq %llu regresses below the installed "
+                "checkpoint %llu",
+                static_cast<unsigned long long>(install.seq),
+                static_cast<unsigned long long>(installed_floor_));
+  if (install.seq == 0 || install.seq % interval != 0 ||
+      install.seq < installed_floor_)
+    return reject();  // a continuing invariant handler lands here
+
+  // Execution already passed this checkpoint (the transfer raced normal
+  // progress): nothing to do, and not a failure.
+  if (install.seq < next_seq_.load(std::memory_order_relaxed)) {
+    if (install.done) install.done(true);
+    return;
+  }
+
+  auto artifact = CheckpointArtifact::decode(install.artifact);
+  if (!artifact) return reject();
+  if (artifact->composite_digest(crypto_) != install.digest) return reject();
+  // Parse the client table into scratch state before touching anything, so
+  // a torn install is impossible; the service restore is atomic itself.
+  std::unordered_map<protocol::ClientId, ClientState> clients;
+  if (!decode_client_table(artifact->client_table, clients)) return reject();
+  if (!service_.restore(artifact->service_snapshot, artifact->service_digest))
+    return reject();
+
+  clients_ = std::move(clients);
+  reorder_.erase(reorder_.begin(), reorder_.upper_bound(install.seq));
+  next_seq_.store(install.seq + 1, std::memory_order_relaxed);
+  installed_floor_ = install.seq;
+  stall_since_us_ = 0;
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.state_installs;
+    stats_.installed_seq = install.seq;
+    // The state now reflects everything through install.seq.
+    if (stats_.last_executed_seq < install.seq)
+      stats_.last_executed_seq = install.seq;
+  }
+  if (install.done) install.done(true);
 }
 
 }  // namespace copbft::core

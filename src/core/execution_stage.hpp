@@ -38,7 +38,13 @@ struct ExecutionStats {
   std::uint64_t replies_omitted = 0;
   std::uint64_t checkpoints_triggered = 0;
   std::uint64_t gap_fills_requested = 0;
+  /// Checkpoints installed via state transfer / rejected (bad artifact).
+  std::uint64_t state_installs = 0;
+  std::uint64_t installs_rejected = 0;
+  /// Highest seq whose effects this stage's state reflects — by execution
+  /// or by checkpoint install.
   protocol::SeqNum last_executed_seq = 0;
+  protocol::SeqNum installed_seq = 0;
 };
 
 class ExecutionStage {
@@ -46,6 +52,10 @@ class ExecutionStage {
   /// `command` routes a PillarCommand to logic unit `pillar` of this
   /// replica; `send_reply` delivers a sealed frame to a client node.
   using CommandFn = std::function<void(std::uint32_t pillar, PillarCommand)>;
+  /// Receives (seq, composite digest, encoded CheckpointArtifact) on every
+  /// checkpoint boundary; the host stores it for serving state transfers.
+  using SnapshotFn =
+      std::function<void(protocol::SeqNum, const crypto::Digest&, Bytes)>;
 
   ExecutionStage(ReplicaId self, const ReplicaRuntimeConfig& config,
                  app::Service& service, const crypto::CryptoProvider& crypto,
@@ -54,8 +64,17 @@ class ExecutionStage {
   void start();
   void stop();
 
+  /// Install before start(); snapshots are only materialized when set.
+  void set_snapshot_fn(SnapshotFn fn) { snapshot_fn_ = std::move(fn); }
+
   /// Called by any pillar thread when an instance commits.
   bool submit(CommittedBatch batch) { return queue_.push(std::move(batch)); }
+
+  /// Called by the state-transfer manager with a fetched stable
+  /// checkpoint; `done` runs on the stage thread with the outcome.
+  bool submit_install(InstallState install) {
+    return queue_.push(std::move(install));
+  }
 
   /// Snapshot of the counters; safe to call from any thread while running.
   ExecutionStats stats() const {
@@ -76,9 +95,18 @@ class ExecutionStage {
     std::deque<std::pair<protocol::RequestId, Bytes>> replies;
   };
 
+  using Input = std::variant<CommittedBatch, InstallState>;
+
   void run();
   /// Invariant-checks an incoming batch and files it in the reorder buffer.
   void admit(CommittedBatch batch);
+  void admit_input(Input input);
+  /// Verifies and installs a transferred checkpoint (state transfer).
+  void handle_install(InstallState install);
+  Bytes encode_client_table() const;
+  bool decode_client_table(
+      ByteSpan table,
+      std::unordered_map<protocol::ClientId, ClientState>& out) const;
   void apply_ready();
   void execute_batch(const CommittedBatch& batch);
   void execute_request(const protocol::Request& request,
@@ -96,13 +124,17 @@ class ExecutionStage {
   const crypto::CryptoProvider& crypto_;
   transport::Transport& transport_;
   CommandFn command_;
+  SnapshotFn snapshot_fn_;
 
-  BoundedQueue<CommittedBatch> queue_;
-  // reorder_, clients_ and stall_since_us_ are owned by the stage thread;
-  // the cross-thread hand-off is the queue itself.
+  BoundedQueue<Input> queue_;
+  // reorder_, clients_, installed_floor_ and stall_since_us_ are owned by
+  // the stage thread; the cross-thread hand-off is the queue itself.
   std::map<protocol::SeqNum, CommittedBatch> reorder_;
   std::atomic<protocol::SeqNum> next_seq_{1};
   std::unordered_map<protocol::ClientId, ClientState> clients_;
+  /// Highest checkpoint installed via state transfer; execution and later
+  /// installs must never regress below it.
+  protocol::SeqNum installed_floor_ = 0;
   std::uint64_t stall_since_us_ = 0;
   mutable Mutex stats_mutex_;
   ExecutionStats stats_ COP_GUARDED_BY(stats_mutex_);

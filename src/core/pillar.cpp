@@ -126,7 +126,9 @@ void Pillar::handle_command(const PillarCommand& command) {
   } else if (const auto* stable = std::get_if<NoteStable>(&command)) {
     core_.note_checkpoint_stable(stable->seq, stable->digest);
   } else if (const auto* gap = std::get_if<FillGap>(&command)) {
-    core_.fill_gap_upto(gap->seq, now_us());
+    core_.fill_gap_upto(gap->seq, now_us(), gap->frontier);
+  } else if (const auto* fetch = std::get_if<FetchMissing>(&command)) {
+    core_.fetch_missing_upto(fetch->upto, now_us());
   }
 }
 
@@ -141,10 +143,13 @@ void Pillar::drain_effects() {
                                   std::move(deliver->requests), index_,
                                   core_.stable_seq()});
     } else if (auto* stable = std::get_if<protocol::CheckpointStable>(&effect)) {
-      if (on_stable_) on_stable_(stable->seq, stable->digest, index_);
+      if (on_stable_)
+        on_stable_(stable->seq, stable->digest, stable->voters, index_);
     } else if (auto* vc = std::get_if<protocol::ViewChanged>(&effect)) {
       COP_LOG_INFO("replica %u pillar %u: now in view %llu", self_, index_,
                    static_cast<unsigned long long>(vc->view));
+    } else if (auto* st = std::get_if<protocol::StateTransferNeeded>(&effect)) {
+      if (on_catch_up_) on_catch_up_(st->observed_seq);
     }
   }
 }

@@ -22,9 +22,14 @@ namespace copbft::core {
 class Pillar final : public transport::FrameSink {
  public:
   /// Propagates checkpoint stability from the owning pillar to siblings
-  /// (paper §4.2.2); no-op for single-pillar replicas.
-  using StableFn = std::function<void(protocol::SeqNum, const crypto::Digest&,
-                                      std::uint32_t origin)>;
+  /// (paper §4.2.2); no-op for single-pillar replicas. `voters` are the
+  /// replicas whose matching votes formed the certificate.
+  using StableFn = std::function<void(
+      protocol::SeqNum, const crypto::Digest&,
+      const std::vector<protocol::ReplicaId>& voters, std::uint32_t origin)>;
+  /// The core detected it is stranded past the peers' log truncation;
+  /// the host should run a checkpoint-based state transfer.
+  using CatchUpFn = std::function<void(protocol::SeqNum observed)>;
 
   Pillar(ReplicaId self, std::uint32_t index,
          const ReplicaRuntimeConfig& config,
@@ -34,6 +39,10 @@ class Pillar final : public transport::FrameSink {
 
   void start();
   void stop();
+
+  /// Install before start(); unset means state-transfer hints are dropped
+  /// (TOP/SMaRt baselines and hosts without a transfer manager).
+  void set_catch_up_hint(CatchUpFn fn) { on_catch_up_ = std::move(fn); }
 
   // FrameSink: called by the transport for this pillar's lane.
   bool deliver(transport::ReceivedFrame frame) override {
@@ -81,6 +90,7 @@ class Pillar final : public transport::FrameSink {
   OutboundSink& outbound_;
   app::Service* service_;  ///< offloaded pre-validation hook; may be null
   StableFn on_stable_;
+  CatchUpFn on_catch_up_;
 
   BoundedQueue<PillarEvent> queue_;
   BoundedQueue<PillarCommand> commands_{1 << 16};

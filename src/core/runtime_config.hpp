@@ -38,6 +38,13 @@ struct ReplicaRuntimeConfig {
   /// sequence number before asking pillars to fill the gap with no-ops.
   std::uint64_t gap_timeout_us = 2'000;
 
+  /// State transfer (laggard recovery): how long to wait for a usable
+  /// checkpoint before re-requesting from all peers.
+  std::uint64_t state_transfer_timeout_us = 500'000;
+
+  /// Chunk size of snapshot delivery in StateReply frames.
+  std::size_t state_chunk_bytes = 64 * 1024;
+
   ReplicaId omitted_replier(std::uint64_t request_key) const {
     return static_cast<ReplicaId>(request_key % protocol.num_replicas);
   }

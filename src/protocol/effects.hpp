@@ -42,6 +42,10 @@ struct Deliver {
 struct CheckpointStable {
   SeqNum seq = 0;
   crypto::Digest digest;
+  /// Replicas whose matching votes formed the certificate (>= 2f+1).
+  /// Recorded so the host can attach the voter set to stored checkpoint
+  /// artifacts for state transfer.
+  std::vector<ReplicaId> voters;
 };
 
 /// The core moved to a new view (after a completed view change).
@@ -49,7 +53,16 @@ struct ViewChanged {
   ViewId view = 0;
 };
 
-using Effect =
-    std::variant<SendTo, Broadcast, Deliver, CheckpointStable, ViewChanged>;
+/// The core observed evidence that it is stranded behind the cluster: peers
+/// reference sequence numbers past the local watermark window, or the
+/// execution frontier sits below an already-truncated region. Ordinary
+/// retransmission cannot recover this — the host should run a
+/// checkpoint-based state transfer. Rate-limited by the core.
+struct StateTransferNeeded {
+  SeqNum observed_seq = 0;
+};
+
+using Effect = std::variant<SendTo, Broadcast, Deliver, CheckpointStable,
+                            ViewChanged, StateTransferNeeded>;
 
 }  // namespace copbft::protocol

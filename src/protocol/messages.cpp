@@ -161,6 +161,18 @@ std::size_t write_authenticated_part(WireWriter& w, const Message& msg) {
           w.u64(m.view);
           w.u64(m.seq);
           w.u32(m.replica);
+        } else if constexpr (std::is_same_v<T, StateRequest>) {
+          w.u64(m.min_seq);
+          w.u32(m.replica);
+        } else if constexpr (std::is_same_v<T, StateReply>) {
+          w.u64(m.seq);
+          w.digest(m.digest);
+          w.u32(static_cast<std::uint32_t>(m.certificate.size()));
+          for (ReplicaId voter : m.certificate) w.u32(voter);
+          w.u32(m.chunk);
+          w.u32(m.chunk_count);
+          w.bytes(m.data);
+          w.u32(m.replica);
         }
       },
       msg);
@@ -193,6 +205,10 @@ const char* type_name(MsgType type) {
       return "NEW-VIEW";
     case MsgType::kFetch:
       return "FETCH";
+    case MsgType::kStateRequest:
+      return "STATE-REQUEST";
+    case MsgType::kStateReply:
+      return "STATE-REPLY";
   }
   return "?";
 }
@@ -271,6 +287,11 @@ std::size_t encoded_size(const Message& msg) {
           return n;
         } else if constexpr (std::is_same_v<T, Fetch>) {
           return 8 + 8 + 4;
+        } else if constexpr (std::is_same_v<T, StateRequest>) {
+          return 8 + 4;
+        } else if constexpr (std::is_same_v<T, StateReply>) {
+          return 8 + 32 + 4 + 4 * m.certificate.size() + 4 + 4 + 4 +
+                 m.data.size() + 4;
         }
       },
       msg);
@@ -370,6 +391,29 @@ std::optional<Decoded> decode_message(ByteSpan data) {
       m.seq = r.u64();
       m.replica = r.u32();
       msg = m;
+      break;
+    }
+    case MsgType::kStateRequest: {
+      StateRequest m;
+      m.min_seq = r.u64();
+      m.replica = r.u32();
+      msg = m;
+      break;
+    }
+    case MsgType::kStateReply: {
+      StateReply m;
+      m.seq = r.u64();
+      m.digest = r.digest();
+      std::uint32_t n = r.u32();
+      if (!r.ok() || r.remaining() / 4 < n) return std::nullopt;
+      m.certificate.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        m.certificate.push_back(r.u32());
+      m.chunk = r.u32();
+      m.chunk_count = r.u32();
+      m.data = r.bytes();
+      m.replica = r.u32();
+      msg = std::move(m);
       break;
     }
     default:

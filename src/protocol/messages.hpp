@@ -29,6 +29,8 @@ enum class MsgType : std::uint8_t {
   kViewChange = 7,
   kNewView = 8,
   kFetch = 9,
+  kStateRequest = 10,
+  kStateReply = 11,
 };
 
 /// Request flags.
@@ -129,8 +131,38 @@ struct Fetch {
   crypto::Authenticator auth;
 };
 
-using Message = std::variant<Request, PrePrepare, Prepare, Commit,
-                             CheckpointMsg, Reply, ViewChange, NewView, Fetch>;
+/// Asks a peer for its latest stable checkpoint at or above `min_seq`
+/// (service-state snapshot plus certificate), delivered as a sequence of
+/// chunked StateReply frames. Sent by a replica stranded past its peers'
+/// log truncation (checkpoint-based state transfer).
+struct StateRequest {
+  SeqNum min_seq = 0;
+  ReplicaId replica = 0;
+  crypto::Authenticator auth;
+};
+
+/// One chunk of a checkpoint transfer. Every chunk repeats the header
+/// (seq, composite digest, certificate voters) so the receiver can count
+/// f+1 matching attestations before committing to an install, and so
+/// chunks arriving out of order are self-describing.
+struct StateReply {
+  SeqNum seq = 0;
+  /// Composite checkpoint digest the cluster agreed on at `seq`.
+  crypto::Digest digest;
+  /// Replicas whose matching votes made the checkpoint stable (>= 2f+1).
+  /// With MAC authenticators this is a claim, not a transferable proof;
+  /// the receiver cross-checks it against f+1 independent peer replies.
+  std::vector<ReplicaId> certificate;
+  std::uint32_t chunk = 0;
+  std::uint32_t chunk_count = 0;
+  Bytes data;
+  ReplicaId replica = 0;
+  crypto::Authenticator auth;
+};
+
+using Message =
+    std::variant<Request, PrePrepare, Prepare, Commit, CheckpointMsg, Reply,
+                 ViewChange, NewView, Fetch, StateRequest, StateReply>;
 
 MsgType type_of(const Message& msg);
 const char* type_name(MsgType type);

@@ -105,6 +105,11 @@ void PbftCore::handle_pre_prepare(IncomingMessage im) {
   const PrePrepare& pp = std::get<PrePrepare>(im.msg);
   if (view_changing_ || pp.view != view_ || !slice_.contains(pp.seq) ||
       !in_window(pp.seq)) {
+    // A proposal past the window can only exist if the proposer's stable
+    // checkpoint is already ahead of our whole window: we are stranded.
+    if (!view_changing_ && pp.view == view_ && slice_.contains(pp.seq) &&
+        pp.seq > stable_seq_ + config_.window)
+      hint_state_transfer(pp.seq);
     ++stats_.verifications_skipped;
     return;
   }
@@ -206,6 +211,10 @@ void PbftCore::handle_vote(IncomingMessage im) {
   if (view_changing_ || v.view != view_ || !slice_.contains(v.seq) ||
       !in_window(v.seq) || v.replica == self_ ||
       v.replica >= config_.num_replicas) {
+    if (!view_changing_ && v.view == view_ && slice_.contains(v.seq) &&
+        v.replica != self_ && v.replica < config_.num_replicas &&
+        v.seq > stable_seq_ + config_.window)
+      hint_state_transfer(v.seq);
     ++stats_.verifications_skipped;
     return;
   }
@@ -300,9 +309,23 @@ void PbftCore::evaluate(Instance& inst) {
       emit(Broadcast{commit});
     }
   }
-  if (inst.prepared && !inst.committed &&
-      inst.commits.size() >= config_.quorum()) {
+  // A full 2f+1 commit certificate alone proves that f+1 correct replicas
+  // prepared this exact batch, so delivery is safe even if this replica
+  // never assembled its own prepare quorum — which is exactly the state a
+  // recovering laggard is in: peers only re-send COMMITs for instances
+  // they already delivered and garbage-collected their PREPAREs for.
+  if (!inst.committed && inst.commits.size() >= config_.quorum()) {
     inst.committed = true;
+    // Preserve the invariant "delivered => own COMMIT broadcast": a replica
+    // that reaches the commit quorum before its prepare quorum must still
+    // announce its commit, or peers that are one vote short of 2f+1 starve
+    // once the prepares for this instance are checkpoint-truncated.
+    if (!inst.sent_commit) {
+      inst.sent_commit = true;
+      Commit commit{inst.view, inst.seq, inst.digest, self_, {}};
+      inst.commits.insert(self_);
+      emit(Broadcast{commit});
+    }
     deliver(inst);
   }
 }
@@ -413,9 +436,18 @@ void PbftCore::propose_batch(std::vector<Request> batch) {
   evaluate(inst);
 }
 
-void PbftCore::fill_gap_upto(SeqNum seq, std::uint64_t now_us) {
+void PbftCore::fill_gap_upto(SeqNum seq, std::uint64_t now_us,
+                             SeqNum frontier) {
   now_us_ = now_us;
   if (view_changing_) return;
+  // The execution stage still needs `frontier`, but everything at or below
+  // our stable checkpoint was truncated cluster-wide (stability requires
+  // 2f+1 votes, so every correct peer GC'd it too). No retransmission or
+  // gap fill can produce those batches again — only a state transfer.
+  if (frontier != 0 && frontier <= stable_seq_) {
+    hint_state_transfer(stable_seq_);
+    return;
+  }
   SeqNum target = std::min(seq, stable_seq_ + config_.window);
   while (true) {
     advance_next_index();
@@ -430,6 +462,32 @@ void PbftCore::fill_gap_upto(SeqNum seq, std::uint64_t now_us) {
         collect_batch(config_.batching ? config_.max_batch : 1);
     propose_batch(std::move(batch));  // empty batch => no-op instance
   }
+}
+
+void PbftCore::fetch_missing_upto(SeqNum upto, std::uint64_t now_us) {
+  now_us_ = now_us;
+  if (view_changing_) return;
+  SeqNum target = std::min(upto, stable_seq_ + config_.window);
+  for (SeqNum seq = slice_.next_at_or_after(stable_seq_ + 1); seq <= target;
+       seq += slice_.stride) {
+    Instance& inst = instance_at(seq);
+    if (inst.have_pre_prepare) continue;
+    if (inst.proposer == self_) continue;  // ours to propose, not to fetch
+    inst.last_activity_us = now_us_;
+    emit(SendTo{inst.proposer, Fetch{view_, seq, self_, {}}});
+  }
+}
+
+void PbftCore::hint_state_transfer(SeqNum observed) {
+  const std::uint64_t interval = config_.retransmit_interval_us != 0
+                                     ? config_.retransmit_interval_us
+                                     : 200'000;
+  if (last_transfer_hint_us_ != 0 &&
+      now_us_ < last_transfer_hint_us_ + interval)
+    return;
+  last_transfer_hint_us_ = now_us_;
+  ++stats_.state_transfer_hints;
+  emit(StateTransferNeeded{observed});
 }
 
 // --------------------------------------------------------------------------
@@ -463,6 +521,11 @@ void PbftCore::handle_checkpoint(IncomingMessage im) {
     ++stats_.verifications_skipped;
     return;
   }
+  // A checkpoint vote past our whole window means the voter's execution —
+  // and, by the vote, the cluster's — outran everything we can still
+  // order. Keep processing (votes may make us stable directly), but flag
+  // the laggardness. Rate-limiting keeps this cheap.
+  if (cp.seq > stable_seq_ + config_.window) hint_state_transfer(cp.seq);
   CheckpointState& state = checkpoints_[cp.seq];
   if (state.stable || state.votes.contains(cp.replica)) {
     ++stats_.verifications_skipped;
@@ -486,7 +549,11 @@ void PbftCore::evaluate_checkpoint(SeqNum seq, CheckpointState& state) {
     if (count >= config_.quorum()) {
       state.stable = true;
       ++stats_.checkpoints_stable;
-      emit(CheckpointStable{seq, digest});
+      std::vector<ReplicaId> voters;
+      voters.reserve(state.votes.size());
+      for (const auto& [replica, d] : state.votes)
+        if (d == digest) voters.push_back(replica);
+      emit(CheckpointStable{seq, digest, std::move(voters)});
       make_stable(seq, digest, false);
       return;
     }
@@ -576,8 +643,9 @@ void PbftCore::retransmit_stalled() {
         emit(Broadcast{Prepare{inst.view, seq, inst.digest, self_, {}}});
       if (inst.sent_commit)
         emit(Broadcast{Commit{inst.view, seq, inst.digest, self_, {}}});
-    } else if (!inst.deferred.empty()) {
-      // Votes arrived but the proposal never did: ask its proposer.
+    } else if (inst.proposer != self_) {
+      // The proposal never arrived (whether or not votes did — after a
+      // checkpoint install there may be none): ask its proposer.
       emit(SendTo{inst.proposer, Fetch{view_, seq, self_, {}}});
     }
   }

@@ -54,6 +54,8 @@ struct CoreStats {
   std::uint64_t view_changes_started = 0;
   std::uint64_t view_changes_completed = 0;
   std::uint64_t checkpoints_stable = 0;
+  /// StateTransferNeeded effects emitted (rate-limited laggard detection).
+  std::uint64_t state_transfer_hints = 0;
 
   CoreStats& operator+=(const CoreStats& other) {
     proposals += other.proposals;
@@ -71,6 +73,7 @@ struct CoreStats {
     view_changes_started += other.view_changes_started;
     view_changes_completed += other.view_changes_completed;
     checkpoints_stable += other.checkpoints_stable;
+    state_transfer_hints += other.state_transfer_hints;
     return *this;
   }
 };
@@ -103,7 +106,16 @@ class PbftCore {
   /// Execution stage is starved waiting for sequence numbers of this slice
   /// up to `seq`; propose pending requests and fill the rest with no-op
   /// instances if this replica currently leads them (paper §4.2.1).
-  void fill_gap_upto(SeqNum seq, std::uint64_t now_us);
+  /// `frontier` is the execution stage's next needed sequence number (0 =
+  /// unknown): if it sits at or below this core's stable checkpoint, the
+  /// needed certificates were already truncated cluster-wide and only a
+  /// state transfer can recover — a StateTransferNeeded effect is emitted.
+  void fill_gap_upto(SeqNum seq, std::uint64_t now_us, SeqNum frontier = 0);
+
+  /// After a checkpoint install slid the window: (re-)fetch the proposals
+  /// for this slice's still-open in-window sequence numbers up to `upto`
+  /// so the tail above the restored checkpoint can be ordered.
+  void fetch_missing_upto(SeqNum upto, std::uint64_t now_us);
 
   /// Drives timeouts (view change suspicion). Hosts call this at a coarse
   /// period; `now_us` is host time (real or simulated).
@@ -213,6 +225,8 @@ class PbftCore {
   bool in_window(SeqNum seq) const {
     return seq > stable_seq_ && seq <= stable_seq_ + config_.window;
   }
+  /// Emits a rate-limited StateTransferNeeded for evidence at `observed`.
+  void hint_state_transfer(SeqNum observed);
   void note_progress() { last_progress_us_ = now_us_; }
   bool has_outstanding_work() const;
 
@@ -248,6 +262,7 @@ class PbftCore {
 
   std::uint64_t now_us_ = 0;
   std::uint64_t last_progress_us_ = 0;
+  std::uint64_t last_transfer_hint_us_ = 0;
 
   std::vector<Effect> effects_;
   CoreStats stats_;

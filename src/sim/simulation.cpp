@@ -2,6 +2,7 @@
 #include <cstdlib>
 #include <cstdio>
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -58,9 +59,16 @@ struct World {
 
   bool measuring = false;
   std::uint64_t completed_ops = 0;
+  std::uint64_t state_transfers = 0;
   Histogram latency_us;
 
   std::uint64_t now_virtual_us() const { return events.now() / 1000; }
+
+  /// Fault injection: the paused replica's network is cut both ways.
+  bool paused(ReplicaId r) const {
+    return r == cfg.pause_replica && events.now() >= cfg.pause_at &&
+           events.now() < cfg.resume_at;
+  }
 
   void transfer(Adapter& src, Adapter& dst, std::size_t bytes,
                 std::function<void()> deliver) {
@@ -106,7 +114,8 @@ struct LogicUnit {
   double feed_message(const Packet& packet);
   double note_stable(SeqNum seq);
   double start_checkpoint(SeqNum seq);
-  double fill_gap(SeqNum upto);
+  double fill_gap(SeqNum upto, SeqNum frontier);
+  double fetch_missing(SeqNum upto);
   double tick();
   double drain_effects();
 };
@@ -222,6 +231,13 @@ struct ReplicaSim {
   void transmit_to_peer(ReplicaId to, std::uint32_t lane, PacketPtr packet);
   double send_replies(const std::vector<PendingReply>& replies,
                       std::uint32_t lane);
+
+  /// Checkpoint-based state transfer, modeled: fetch the newest stable
+  /// checkpoint from a live peer after a network round-trip, install it
+  /// into the execution stage, and slide every logic unit's window to it.
+  bool transfer_inflight = false;
+  void request_state_transfer(SeqNum observed);
+  void complete_state_transfer(SeqNum observed);
 };
 
 // ---------------------------------------------------------------------------
@@ -366,8 +382,14 @@ double LogicUnit::start_checkpoint(SeqNum seq) {
          drain_effects();
 }
 
-double LogicUnit::fill_gap(SeqNum upto) {
-  core.fill_gap_upto(upto, world.now_virtual_us());
+double LogicUnit::fill_gap(SeqNum upto, SeqNum frontier) {
+  core.fill_gap_upto(upto, world.now_virtual_us(), frontier);
+  return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
+         drain_effects();
+}
+
+double LogicUnit::fetch_missing(SeqNum upto) {
+  core.fetch_missing_upto(upto, world.now_virtual_us());
   return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
          drain_effects();
 }
@@ -407,6 +429,11 @@ double LogicUnit::drain_effects() {
         unit->thread.post(
             [unit, seq]() -> double { return unit->note_stable(seq); });
       }
+    } else if (auto* st = std::get_if<StateTransferNeeded>(&effect)) {
+      // Stranded past peers' log truncation: model the checkpoint-based
+      // state transfer (the threaded runtime's StateTransferManager).
+      cost += costs.handoff_ns;
+      replica.request_state_transfer(st->observed_seq);
     }
     // ViewChanged: not exercised in fault-free performance runs.
   }
@@ -417,6 +444,7 @@ double LogicUnit::drain_effects() {
 // ReplicaSim implementation
 
 void ReplicaSim::deliver(std::uint32_t lane, PacketPtr packet) {
+  if (world.paused(id)) return;  // fault injection: ingress cut
   switch (cfg.arch) {
     case SimArch::kCop:
       // Private lane straight into the owning pillar (§4.2.3).
@@ -533,6 +561,7 @@ double ReplicaSim::send_protocol(Message&& msg, std::uint32_t lane,
 
 void ReplicaSim::transmit_to_peer(ReplicaId to, std::uint32_t lane,
                                   PacketPtr packet) {
+  if (world.paused(id)) return;  // fault injection: egress cut
   ReplicaSim& peer = *world.replicas[to];
   std::uint32_t peer_lane = lane % peer.lanes();
   world.transfer(nics.adapter_for_lane(lane),
@@ -562,6 +591,47 @@ double ReplicaSim::send_replies(const std::vector<PendingReply>& replies,
                    });
   }
   return cost;
+}
+
+void ReplicaSim::request_state_transfer(SeqNum observed) {
+  if (transfer_inflight || world.paused(id)) return;
+  transfer_inflight = true;
+  // Model the StateRequest round-trip plus the chunked snapshot delivery
+  // as a fixed virtual-time delay; the threaded runtime's fault-injection
+  // tests exercise the real wire path.
+  ReplicaSim* self = this;
+  world.events.schedule_in(3'000'000 /*3 ms*/, [self, observed] {
+    self->exec->thread.post([self, observed]() -> double {
+      self->complete_state_transfer(observed);
+      return self->costs.dequeue_ns + 10'000.0;  // decode + install
+    });
+  });
+}
+
+void ReplicaSim::complete_state_transfer(SeqNum observed) {
+  transfer_inflight = false;
+  if (world.paused(id)) return;
+  // Donor: the newest stable checkpoint held by any live peer.
+  SeqNum stable = 0;
+  for (auto& peer : world.replicas) {
+    if (peer->id == id || world.paused(peer->id)) continue;
+    for (auto& unit : peer->logic)
+      stable = std::max(stable, unit->core.stable_seq());
+  }
+  if (stable < exec->next_seq) return;  // caught up by retransmission
+  ++world.state_transfers;
+  exec->reorder.erase(exec->reorder.begin(),
+                      exec->reorder.upper_bound(stable));
+  exec->next_seq = stable + 1;
+  // Slide every logic unit's window to the installed checkpoint, then
+  // re-fetch the instances between it and the observed frontier.
+  SeqNum upto = std::max(observed, stable);
+  for (auto& unit_ptr : logic) {
+    LogicUnit* unit = unit_ptr.get();
+    unit->thread.post([unit, stable, upto]() -> double {
+      return unit->note_stable(stable) + unit->fetch_missing(upto);
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -661,12 +731,14 @@ double ExecSim::gap_check() {
   // Stalled since the previous check: ask every logic unit to fill its
   // slice up to the highest buffered instance (§4.2.1).
   SeqNum target = reorder.rbegin()->first;
+  SeqNum frontier = next_seq;
   double cost = 0;
   for (auto& unit_ptr : replica.logic) {
     LogicUnit* unit = unit_ptr.get();
     cost += world.costs.handoff_ns;
-    unit->thread.post(
-        [unit, target]() -> double { return unit->fill_gap(target); });
+    unit->thread.post([unit, target, frontier]() -> double {
+      return unit->fill_gap(target, frontier);
+    });
   }
   return cost + 100.0;
 }
@@ -830,6 +902,11 @@ SimResult run_simulation(const SimConfig& config) {
   result.leader_cpu_utilization = world.replicas[0]->machine.utilization(end);
   result.follower_cpu_utilization =
       world.replicas[1]->machine.utilization(end);
+  result.state_transfers = world.state_transfers;
+  result.cluster_next_seq = world.replicas[0]->exec->next_seq;
+  if (config.pause_replica < config.protocol.num_replicas)
+    result.laggard_next_seq =
+        world.replicas[config.pause_replica]->exec->next_seq;
 
   if (std::getenv("COPBFT_SIM_DEBUG")) {
     double elapsed = static_cast<double>(end);

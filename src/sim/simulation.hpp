@@ -75,6 +75,16 @@ struct SimConfig {
   SimTime measure = 1'000 * 1'000'000ULL; // 1 s
   std::uint64_t seed = 42;
 
+  // ---- fault injection ----
+  /// Replica whose network is cut during [pause_at, resume_at); UINT32_MAX
+  /// disables the fault. While paused the replica neither receives nor
+  /// sends — the cluster keeps committing with the remaining 2f+1 and
+  /// truncates its logs past the laggard's window, forcing the resumed
+  /// replica through the checkpoint-based state-transfer path.
+  std::uint32_t pause_replica = UINT32_MAX;
+  SimTime pause_at = 0;
+  SimTime resume_at = 0;
+
   CostModel costs;
 
   /// Resolved pillar count for this configuration.
@@ -110,6 +120,11 @@ struct SimResult {
   double leader_cpu_utilization = 0;
   double follower_cpu_utilization = 0;
   std::uint64_t instances = 0;
+  /// Fault injection (pause_replica set): completed state transfers, and
+  /// the execution frontiers of the laggard and of replica 0 at the end.
+  std::uint64_t state_transfers = 0;
+  std::uint64_t laggard_next_seq = 0;
+  std::uint64_t cluster_next_seq = 0;
 };
 
 SimResult run_simulation(const SimConfig& config);

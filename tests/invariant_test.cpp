@@ -7,14 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <future>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "app/null_service.hpp"
 #include "common/invariant.hpp"
+#include "core/checkpoint_artifact.hpp"
 #include "core/execution_stage.hpp"
 #include "core/pillar.hpp"
+#include "protocol/wire.hpp"
 #include "support/core_harness.hpp"
 #include "support/fake_transport.hpp"
 
@@ -159,6 +162,47 @@ TEST_F(InvariantTest, MisalignedStabilityNoticeTrips) {
   auto fired = wait_fired(1, /*ms=*/0);
   ASSERT_EQ(fired.size(), 1u);
   EXPECT_NE(fired[0].message.find("stability notice"), std::string::npos);
+}
+
+TEST_F(InvariantTest, MisalignedStateInstallTrips) {
+  start_stage(/*pillars=*/1);
+  // Checkpoints only exist at interval boundaries (interval = 10); an
+  // install at seq 7 cannot correspond to any agreed checkpoint.
+  stage_->submit_install(InstallState{/*seq=*/7, crypto::Digest{}, {},
+                                      [](bool) {}});
+  auto fired = wait_fired(1);
+  ASSERT_GE(fired.size(), 1u);
+  EXPECT_NE(fired[0].message.find("checkpoint interval"), std::string::npos);
+}
+
+TEST_F(InvariantTest, RegressingStateInstallTrips) {
+  start_stage(/*pillars=*/1);
+  // A genuine install at seq 20 first: empty client table plus a fresh
+  // NullService snapshot, with the matching composite digest.
+  app::NullService donor(4);
+  CheckpointArtifact artifact;
+  {
+    WireWriter w(artifact.client_table);
+    w.u32(0);  // no clients
+  }
+  artifact.service_digest = donor.state_digest();
+  artifact.service_snapshot = donor.snapshot();
+  crypto::Digest digest = artifact.composite_digest(*crypto_);
+  std::promise<bool> first;
+  auto first_ok = first.get_future();
+  stage_->submit_install(InstallState{
+      /*seq=*/20, digest, artifact.encode(),
+      [&first](bool ok) { first.set_value(ok); }});
+  ASSERT_EQ(first_ok.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  ASSERT_TRUE(first_ok.get());
+
+  // Rewinding below the installed checkpoint would fork the state.
+  stage_->submit_install(InstallState{/*seq=*/10, digest, artifact.encode(),
+                                      [](bool) {}});
+  auto fired = wait_fired(1);
+  ASSERT_GE(fired.size(), 1u);
+  EXPECT_NE(fired[0].message.find("regresses"), std::string::npos);
 }
 
 TEST_F(InvariantTest, MisroutedCheckpointCommandTrips) {
