@@ -8,6 +8,7 @@
 // scaling through 12 cores.
 #include <cstdio>
 
+#include "support/bench_json.hpp"
 #include "support/paper_setup.hpp"
 
 int main() {
@@ -19,6 +20,7 @@ int main() {
   const SimArch kSystems[] = {SimArch::kSmart, SimArch::kSmartStar,
                               SimArch::kTop, SimArch::kCop};
 
+  BenchJsonWriter json("fig5a", /*batching=*/false, measure_ns());
   for (SimArch arch : kSystems) {
     for (std::uint32_t cores : kCores) {
       SimConfig cfg = paper_config(arch, cores, /*batching=*/false);
@@ -28,8 +30,14 @@ int main() {
                   r.leader_tx_mbps,
                   static_cast<unsigned long long>(r.instances));
       std::fflush(stdout);
+      json.add(copbft::sim::arch_name(arch), cores, cfg.clients,
+               cfg.request_payload, r);
     }
     std::printf("\n");
+  }
+  if (!json.write("BENCH_fig5a.json")) {
+    std::fprintf(stderr, "failed to write BENCH_fig5a.json\n");
+    return 1;
   }
   return 0;
 }

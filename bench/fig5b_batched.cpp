@@ -6,6 +6,7 @@
 // four adapters' combined bandwidth at the leader).
 #include <cstdio>
 
+#include "support/bench_json.hpp"
 #include "support/paper_setup.hpp"
 
 int main() {
@@ -17,6 +18,7 @@ int main() {
   const SimArch kSystems[] = {SimArch::kSmart, SimArch::kSmartStar,
                               SimArch::kTop, SimArch::kCop};
 
+  BenchJsonWriter json("fig5b", /*batching=*/true, measure_ns());
   for (SimArch arch : kSystems) {
     for (std::uint32_t cores : kCores) {
       SimConfig cfg = paper_config(arch, cores, /*batching=*/true);
@@ -26,8 +28,14 @@ int main() {
                   r.leader_tx_mbps,
                   static_cast<unsigned long long>(r.instances));
       std::fflush(stdout);
+      json.add(copbft::sim::arch_name(arch), cores, cfg.clients,
+               cfg.request_payload, r);
     }
     std::printf("\n");
+  }
+  if (!json.write("BENCH_fig5b.json")) {
+    std::fprintf(stderr, "failed to write BENCH_fig5b.json\n");
+    return 1;
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 // connection must carry each proposal.
 #include <cstdio>
 
+#include "support/bench_json.hpp"
 #include "support/paper_setup.hpp"
 
 int main() {
@@ -22,6 +23,7 @@ int main() {
                               SimArch::kTop, SimArch::kCop};
   const std::uint32_t kClients[] = {40, 100, 200, 400, 800, 1600, 2400, 3600};
 
+  BenchJsonWriter json("fig6", /*batching=*/true, measure_ns());
   for (std::size_t payload : kPayloads) {
     // The paper's figures show 0 B and 1024 B; keep the other two series
     // short unless a full sweep is requested.
@@ -42,9 +44,15 @@ int main() {
                     static_cast<double>(r.latency_p50_us) / 1000.0,
                     static_cast<double>(r.latency_p99_us) / 1000.0);
         std::fflush(stdout);
+        json.add(copbft::sim::arch_name(arch), /*cores=*/12, clients, payload,
+                 r);
       }
       std::printf("\n");
     }
+  }
+  if (!json.write("BENCH_fig6.json")) {
+    std::fprintf(stderr, "failed to write BENCH_fig6.json\n");
+    return 1;
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace copbft::bench {
@@ -70,6 +71,9 @@ inline SimConfig paper_config(SimArch arch, std::uint32_t cores,
 }
 
 inline void print_header(const char* bench, const char* columns) {
+  // Opt-in periodic metrics dump (COPBFT_METRICS_DUMP=<path>); a no-op for
+  // the pure-simulator figures, populated by threaded-runtime benches.
+  metrics::MetricsDumper::maybe_start_from_env();
   std::printf("# %s\n", bench);
   std::printf("# paper: Behl, Distler, Kapitza — Consensus-Oriented "
               "Parallelization (Middleware '15)\n");

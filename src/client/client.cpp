@@ -1,14 +1,46 @@
 #include "client/client.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/logging.hpp"
 #include "common/time.hpp"
+#include "common/trace.hpp"
 #include "protocol/wire.hpp"
 
 namespace copbft::client {
 
+std::uint64_t retransmit_backoff_us(std::uint64_t base, std::uint64_t cap,
+                                    std::uint32_t attempt, Rng& rng) {
+  if (base == 0) base = 1;
+  if (cap < base) cap = base;
+  // base << attempt, saturating well before 64-bit overflow.
+  std::uint64_t backoff = cap;
+  if (attempt < 63 && (base >> (63 - attempt)) == 0) {
+    backoff = std::min(cap, base << attempt);
+  }
+  // +-12.5% uniform jitter, never below 1us.
+  const std::uint64_t spread = backoff / 8;
+  const std::uint64_t lo = backoff - spread;
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t hi = (backoff > kMax - spread) ? kMax : backoff + spread;
+  return std::max<std::uint64_t>(1, rng.between(lo, hi));
+}
+
 Client::Client(ClientConfig config, const crypto::CryptoProvider& crypto,
                transport::Transport& transport)
-    : config_(config), crypto_(crypto), transport_(transport) {
+    : config_(config),
+      crypto_(crypto),
+      transport_(transport),
+      backoff_rng_(0x9e3779b9u ^ config.id),
+      m_sent_(metrics::MetricsRegistry::global().counter(
+          "client.requests_sent")),
+      m_retransmissions_(metrics::MetricsRegistry::global().counter(
+          "client.retransmissions")),
+      m_completed_(
+          metrics::MetricsRegistry::global().counter("client.completed")),
+      m_latency_us_(metrics::MetricsRegistry::global().histogram(
+          "client.latency_us")) {
   inbox_ = std::make_shared<transport::Inbox>(4096);
   transport_.register_sink(0, inbox_);
 }
@@ -64,8 +96,17 @@ bool Client::invoke_async(Bytes payload, std::uint8_t flags, Callback done) {
     p.frame = frame;
     p.done = std::move(done);
     p.sent_at_us = now;
-    p.deadline_us = now + config_.retransmit_timeout_us;
+    // Jitter the very first deadline too: requests issued together in one
+    // window must not fall due together if the cluster stalls.
+    p.deadline_us =
+        now + retransmit_backoff_us(config_.retransmit_timeout_us,
+                                    config_.retransmit_timeout_max_us,
+                                    /*attempt=*/0, backoff_rng_);
   }
+  m_sent_.add();
+  trace::point(trace::Point::kClientSend,
+               static_cast<std::uint32_t>(config_.id), /*pillar=*/0, /*seq=*/0,
+               /*view=*/0, config_.id, id);
   for (std::uint32_t r = 0; r < config_.num_replicas; ++r)
     transport_.send(protocol::replica_node(r), lane(), frame);
   return true;
@@ -152,6 +193,11 @@ void Client::handle_reply(transport::ReceivedFrame& frame) {
     ++completed_;
     if (done) ++callbacks_in_flight_;
   }
+  m_completed_.add();
+  m_latency_us_.record(latency);
+  trace::point(trace::Point::kStableResult,
+               static_cast<std::uint32_t>(config_.id), /*pillar=*/0, /*seq=*/0,
+               /*view=*/0, config_.id, reply->id);
   window_open_.notify_all();
   if (done) {
     done(std::move(result), latency);
@@ -169,9 +215,21 @@ void Client::retransmit_due(std::uint64_t now) {
     MutexLock lock(mutex_);
     for (auto& [id, p] : pending_) {
       if (now >= p.deadline_us) {
-        p.deadline_us = now + config_.retransmit_timeout_us;
+        // Per-request capped exponential backoff with jitter. Rearming
+        // every due request with the same fixed timeout would lock their
+        // deadlines together: one stall and the whole window re-fires in
+        // lockstep at every timeout forever.
+        ++p.attempts;
+        p.deadline_us =
+            now + retransmit_backoff_us(config_.retransmit_timeout_us,
+                                        config_.retransmit_timeout_max_us,
+                                        p.attempts, backoff_rng_);
         frames.push_back(p.frame);
         ++retransmissions_;
+        m_retransmissions_.add();
+        trace::point(trace::Point::kClientRetransmit,
+                     static_cast<std::uint32_t>(config_.id), /*pillar=*/0,
+                     /*seq=*/0, /*view=*/0, config_.id, id);
       }
     }
   }

@@ -14,7 +14,9 @@
 #include <unordered_map>
 
 #include "common/histogram.hpp"
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
+#include "common/rng.hpp"
 #include "common/threading.hpp"
 #include "crypto/provider.hpp"
 #include "protocol/messages.hpp"
@@ -30,8 +32,19 @@ struct ClientConfig {
   std::uint32_t num_pillars = 1;
   /// Maximum outstanding asynchronous requests.
   std::uint32_t window = 16;
+  /// Base retransmission timeout; doubles per retransmission of the same
+  /// request (with jitter) up to retransmit_timeout_max_us.
   std::uint64_t retransmit_timeout_us = 500'000;
+  std::uint64_t retransmit_timeout_max_us = 8'000'000;
 };
+
+/// Retransmission delay for the attempt-th re-send of one request:
+/// exponential (base << attempt) capped at `cap`, with +-12.5% uniform
+/// jitter so concurrently-pending requests do not re-fire in lockstep —
+/// a fixed rearm turns one hiccup into synchronized retransmission storms
+/// that arrive together at the replicas forever after.
+std::uint64_t retransmit_backoff_us(std::uint64_t base, std::uint64_t cap,
+                                    std::uint32_t attempt, Rng& rng);
 
 class Client {
  public:
@@ -71,6 +84,16 @@ class Client {
     MutexLock lock(mutex_);
     return retransmissions_;
   }
+  /// Retransmission deadlines of the currently pending requests, in
+  /// microsecond timestamps (unordered). Test/diagnostic hook for
+  /// observing backoff de-synchronization.
+  std::vector<std::uint64_t> pending_deadlines() const {
+    MutexLock lock(mutex_);
+    std::vector<std::uint64_t> out;
+    out.reserve(pending_.size());
+    for (const auto& [id, p] : pending_) out.push_back(p.deadline_us);
+    return out;
+  }
   protocol::ClientId id() const { return config_.id; }
 
  private:
@@ -79,6 +102,7 @@ class Client {
     Callback done;
     std::uint64_t sent_at_us = 0;
     std::uint64_t deadline_us = 0;
+    std::uint32_t attempts = 0;  ///< retransmissions so far (backoff exponent)
     /// votes: digest of result -> replicas that returned it
     std::map<crypto::Digest, std::uint32_t> votes;
     std::uint32_t voters_seen = 0;  ///< bitmask of replica ids (< 32)
@@ -112,6 +136,14 @@ class Client {
   Histogram latencies_ COP_GUARDED_BY(mutex_);
   std::uint64_t completed_ COP_GUARDED_BY(mutex_) = 0;
   std::uint64_t retransmissions_ COP_GUARDED_BY(mutex_) = 0;
+  /// Jitter source for retransmission backoff; deterministic per client.
+  Rng backoff_rng_ COP_GUARDED_BY(mutex_);
+
+  // Observability (shared across client instances; registered in ctor).
+  metrics::Counter& m_sent_;
+  metrics::Counter& m_retransmissions_;
+  metrics::Counter& m_completed_;
+  metrics::HistogramMetric& m_latency_us_;
 };
 
 }  // namespace copbft::client

@@ -39,8 +39,12 @@ class Histogram {
                   : 0.0;
   }
 
-  /// Value at quantile q in [0,1]; returns the representative value of the
-  /// bucket containing the q-th sample.
+  /// Value at quantile q in [0,1]; returns the *highest* value contained
+  /// in the bucket holding the q-th sample (HdrHistogram convention),
+  /// clamped to the observed maximum. Reporting the bucket's lower edge
+  /// instead would systematically under-state tail percentiles by up to
+  /// the ~3% bucket width; the upper edge guarantees
+  /// percentile(q) >= the exact q-th sample.
   std::uint64_t percentile(double q) const {
     if (count_ == 0) return 0;
     q = std::clamp(q, 0.0, 1.0);
@@ -48,7 +52,7 @@ class Histogram {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kNumBuckets; ++i) {
       seen += buckets_[i];
-      if (seen >= rank) return bucket_value(i);
+      if (seen >= rank) return std::min(bucket_upper(i), max_);
     }
     return max_;
   }
@@ -61,7 +65,10 @@ class Histogram {
     std::fill(buckets_.begin(), buckets_.end(), 0);
   }
 
- private:
+  // The bucketing is public so wait-free metric variants (see
+  // common/metrics.hpp) can share it and assemble snapshots via
+  // from_parts().
+
   // 64 exponent groups x 32 sub-buckets: ~3% relative resolution up to 2^63.
   static constexpr std::size_t kSubBits = 5;
   static constexpr std::size_t kSubBuckets = 1 << kSubBits;
@@ -75,6 +82,7 @@ class Histogram {
     return group * kSubBuckets + sub;
   }
 
+  /// Lowest value mapping to bucket `index`.
   static std::uint64_t bucket_value(std::size_t index) {
     std::size_t group = index / kSubBuckets;
     std::size_t sub = index % kSubBuckets;
@@ -83,6 +91,30 @@ class Histogram {
     return (kSubBuckets + sub) << shift;
   }
 
+  /// Highest value mapping to bucket `index`.
+  static std::uint64_t bucket_upper(std::size_t index) {
+    std::size_t group = index / kSubBuckets;
+    std::size_t sub = index % kSubBuckets;
+    if (group == 0) return sub;
+    int shift = static_cast<int>(group) - 1;
+    return (((kSubBuckets + sub + 1) << shift)) - 1;
+  }
+
+  /// Assembles a histogram from externally accumulated state; `buckets`
+  /// must hold kNumBuckets counts in bucket_index() order.
+  static Histogram from_parts(std::uint64_t count, std::uint64_t sum,
+                              std::uint64_t min, std::uint64_t max,
+                              const std::uint64_t* buckets) {
+    Histogram h;
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = count ? min : ~0ULL;
+    h.max_ = max;
+    h.buckets_.assign(buckets, buckets + kNumBuckets);
+    return h;
+  }
+
+ private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;

@@ -1,0 +1,232 @@
+#include "common/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/time.hpp"
+
+namespace copbft::metrics {
+
+#if COP_METRICS_ENABLED
+
+namespace detail {
+
+std::size_t this_thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+Histogram HistogramMetric::snapshot() const {
+  // Relaxed loads: the snapshot is a monitoring view, not a linearization
+  // point; counts recorded concurrently may or may not be included.
+  std::uint64_t buckets[Histogram::kNumBuckets];
+  for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i)
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return Histogram::from_parts(count_.load(std::memory_order_relaxed),
+                               sum_.load(std::memory_order_relaxed),
+                               min_.load(std::memory_order_relaxed),
+                               max_.load(std::memory_order_relaxed), buckets);
+}
+
+ScopedTimer::ScopedTimer(HistogramMetric& h) : hist_(h), start_us_(now_us()) {}
+
+ScopedTimer::~ScopedTimer() { hist_.record(now_us() - start_us_); }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  // Any process that registers a metric honors COPBFT_METRICS_DUMP without
+  // per-host wiring. Runs after the registry's own initialization completed,
+  // so the dumper thread can safely call global() at its first interval.
+  static bool dumper = (MetricsDumper::maybe_start_from_env(), true);
+  (void)dumper;
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return *slot;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::snapshot_json() const {
+  MutexLock lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    append_u64(out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"value\":";
+    append_i64(out, g->value());
+    out += ",\"max\":";
+    append_i64(out, g->max());
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hm] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    Histogram h = hm->snapshot();
+    append_escaped(out, name);
+    out += ":{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"min\":";
+    append_u64(out, h.min());
+    out += ",\"max\":";
+    append_u64(out, h.max());
+    out += ",\"p50\":";
+    append_u64(out, h.percentile(0.5));
+    out += ",\"p90\":";
+    append_u64(out, h.percentile(0.9));
+    out += ",\"p99\":";
+    append_u64(out, h.percentile(0.99));
+    out += ",\"p999\":";
+    append_u64(out, h.percentile(0.999));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+#else  // !COP_METRICS_ENABLED
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  static bool dumper = (MetricsDumper::maybe_start_from_env(), true);
+  (void)dumper;
+  return *registry;
+}
+
+#endif  // COP_METRICS_ENABLED
+
+// ---------------------------------------------------------------------------
+// MetricsDumper (built in both modes; with metrics compiled out it writes
+// the empty document, making the build difference observable, not silent).
+
+MetricsDumper::MetricsDumper(std::string path, std::uint64_t interval_ms)
+    : path_(std::move(path)), interval_ms_(interval_ms) {
+  thread_ = named_thread("metrics-dump", [this] { run(); });
+}
+
+MetricsDumper::~MetricsDumper() { stop(); }
+
+void MetricsDumper::stop() {
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsDumper::run() {
+  const auto interval = std::chrono::milliseconds(interval_ms_);
+  bool done = false;
+  while (!done) {
+    {
+      CvLock lock(mutex_);
+      if (!stopping_) cv_.wait_for(lock.native(), interval);
+      done = stopping_;
+    }
+    // Written even on the stop turn: short-lived processes get one
+    // complete final snapshot.
+    std::string json = MetricsRegistry::global().snapshot_json();
+    if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+}
+
+void MetricsDumper::maybe_start_from_env() {
+  static MetricsDumper* dumper = []() -> MetricsDumper* {
+    const char* path = std::getenv("COPBFT_METRICS_DUMP");
+    if (!path || !*path) return nullptr;
+    std::uint64_t ms = 1000;
+    if (const char* env = std::getenv("COPBFT_METRICS_DUMP_MS"))
+      ms = static_cast<std::uint64_t>(std::atoll(env));
+    if (ms == 0) ms = 1000;
+    return new MetricsDumper(path, ms);  // leaked: lives for the process
+  }();
+  (void)dumper;
+}
+
+}  // namespace copbft::metrics

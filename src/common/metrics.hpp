@@ -1,0 +1,254 @@
+// Low-overhead metrics registry: counters, gauges and histogram-backed
+// timers for the runtime's hot paths (pillars, execution stage, transports,
+// clients), aggregated only on scrape.
+//
+// Design (the paper's evaluation is entirely empirical, so instrumentation
+// must not perturb what it measures):
+//   * Counter  — sharded cache-line-padded atomics indexed by a per-thread
+//     slot; increments are a single relaxed fetch_add on a shard that is,
+//     in the steady state, owned by one thread. Aggregation sums shards.
+//   * Gauge    — one atomic value plus a monotonic high-watermark.
+//   * HistogramMetric — the same geometric bucketing as common/histogram.hpp
+//     but with atomic buckets, so record() is wait-free and a scrape can
+//     run concurrently with recording threads (each bucket is merely a
+//     relaxed counter; the snapshot is a consistent-enough view for
+//     monitoring, never for correctness decisions).
+//   * MetricsRegistry — name -> metric map; registration is cold (mutex),
+//     handles are stable for the registry's lifetime, snapshot_json()
+//     renders everything with sorted, stable keys.
+//
+// Compile-time gating: when COP_METRICS_ENABLED is 0 every operation is an
+// inline no-op and snapshot_json() returns an empty document, so benchmark
+// builds can prove the instrumentation costs nothing (CMake option
+// COP_ENABLE_METRICS, default ON).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#ifndef COP_METRICS_ENABLED
+#define COP_METRICS_ENABLED 1
+#endif
+
+#include "common/histogram.hpp"
+#include "common/threading.hpp"
+
+#include <map>
+#include <memory>
+
+namespace copbft::metrics {
+
+#if COP_METRICS_ENABLED
+
+namespace detail {
+/// Slot used to spread threads over counter shards. Assigned once per
+/// thread, round-robin, so steady-state increments never contend.
+std::size_t this_thread_slot();
+}  // namespace detail
+
+/// Monotonic event counter. Wait-free add(); value() sums the shards.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) {
+    shard(detail::this_thread_slot()).fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kShards; ++i)
+      sum += shards_[i].v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::atomic<std::uint64_t>& shard(std::size_t slot) {
+    return shards_[slot % kShards].v;
+  }
+  Shard shards_[kShards];
+};
+
+/// Instantaneous value (queue depth, reorder-buffer size, drift) plus the
+/// highest value ever set — saturation shows up in the watermark even when
+/// a scrape misses the spike.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    raise_watermark(v);
+  }
+  void add(std::int64_t d) {
+    raise_watermark(value_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void raise_watermark(std::int64_t v) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Wait-free histogram for latency/size samples: atomic buckets with the
+/// bucketing of common/histogram.hpp. snapshot() materializes a plain
+/// Histogram for percentile queries.
+class HistogramMetric {
+ public:
+  void record(std::uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    lower_min(value);
+    raise_max(value);
+    buckets_[Histogram::bucket_index(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  Histogram snapshot() const;
+
+ private:
+  void lower_min(std::uint64_t v) {
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (v < seen &&
+           !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  void raise_max(std::uint64_t v) {
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[Histogram::kNumBuckets] = {};
+};
+
+/// RAII timer recording elapsed microseconds into a HistogramMetric.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric& h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  HistogramMetric& hist_;
+  std::uint64_t start_us_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry& global();
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// References stay valid for the registry's lifetime. Mixing kinds under
+  /// one name is a programming error (the first registration wins and the
+  /// mismatching call aborts via the invariant path in debug builds).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name);
+
+  /// One JSON document with sorted, stable keys:
+  /// {"counters":{...},"gauges":{name:{"value":v,"max":m}},
+  ///  "histograms":{name:{"count":..,"mean":..,"min":..,"max":..,
+  ///                      "p50":..,"p90":..,"p99":..,"p999":..}}}
+  std::string snapshot_json() const;
+
+ private:
+  mutable Mutex mutex_;
+  // node-stable containers: handles returned to hot paths must not move.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      COP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ COP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      COP_GUARDED_BY(mutex_);
+};
+
+#else  // !COP_METRICS_ENABLED — every operation compiles to nothing.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) {}
+  void add(std::int64_t) {}
+  std::int64_t value() const { return 0; }
+  std::int64_t max() const { return 0; }
+};
+
+class HistogramMetric {
+ public:
+  void record(std::uint64_t) {}
+  Histogram snapshot() const { return Histogram(); }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric&) {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+  Counter& counter(const std::string&) { return counter_; }
+  Gauge& gauge(const std::string&) { return gauge_; }
+  HistogramMetric& histogram(const std::string&) { return histogram_; }
+  std::string snapshot_json() const { return "{}"; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  HistogramMetric histogram_;
+};
+
+#endif  // COP_METRICS_ENABLED
+
+/// Background thread dumping MetricsRegistry::global().snapshot_json() to
+/// a file every `interval_ms`. Started explicitly by hosts, or process-wide
+/// from the environment: COPBFT_METRICS_DUMP=<path> (interval from
+/// COPBFT_METRICS_DUMP_MS, default 1000). A final snapshot is written on
+/// stop so short runs still leave a complete document behind.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, std::uint64_t interval_ms);
+  ~MetricsDumper();
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  void stop();
+
+  /// Starts the process-wide dumper once iff COPBFT_METRICS_DUMP is set.
+  static void maybe_start_from_env();
+
+ private:
+  void run();
+
+  const std::string path_;
+  const std::uint64_t interval_ms_;
+  Mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ COP_GUARDED_BY(mutex_) = false;
+  std::jthread thread_;
+};
+
+}  // namespace copbft::metrics

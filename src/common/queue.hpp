@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/metrics.hpp"
 #include "common/threading.hpp"
 
 namespace copbft {
@@ -29,12 +30,25 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Opt-in instrumentation: `depth` tracks the queue length (its
+  /// watermark shows peak backlog), `blocked_pushes` counts pushes that
+  /// found the queue full and had to wait — the backpressure signal.
+  /// Updates happen under the queue mutex the operation holds anyway.
+  void instrument(metrics::Gauge& depth, metrics::Counter& blocked_pushes) {
+    MutexLock lock(mutex_);
+    depth_gauge_ = &depth;
+    blocked_pushes_ = &blocked_pushes;
+  }
+
   /// Blocking push; returns false iff the queue was closed.
   bool push(T value) {
     CvLock lock(mutex_);
+    if (!closed_ && items_.size() >= capacity_ && blocked_pushes_)
+      blocked_pushes_->add();
     while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock.native());
     if (closed_) return false;
     items_.push_back(std::move(value));
+    publish_depth();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -46,6 +60,7 @@ class BoundedQueue {
       MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
+      publish_depth();
     }
     not_empty_.notify_one();
     return true;
@@ -58,6 +73,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
+    publish_depth();
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -75,6 +91,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
+    publish_depth();
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -86,6 +103,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
+    publish_depth();
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -98,6 +116,7 @@ class BoundedQueue {
     while (!closed_ && items_.empty()) not_empty_.wait(lock.native());
     std::deque<T> out;
     out.swap(items_);
+    publish_depth();
     lock.unlock();
     not_full_.notify_all();
     return out;
@@ -125,12 +144,19 @@ class BoundedQueue {
   bool empty() const { return size() == 0; }
 
  private:
+  void publish_depth() COP_REQUIRES(mutex_) {
+    if (depth_gauge_)
+      depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+  }
+
   const std::size_t capacity_;
   mutable Mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_ COP_GUARDED_BY(mutex_);
   bool closed_ COP_GUARDED_BY(mutex_) = false;
+  metrics::Gauge* depth_gauge_ COP_GUARDED_BY(mutex_) = nullptr;
+  metrics::Counter* blocked_pushes_ COP_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace copbft

@@ -1,0 +1,104 @@
+#include "common/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/time.hpp"
+
+namespace copbft::trace {
+
+const char* point_name(Point p) {
+  switch (p) {
+    case Point::kClientSend:
+      return "client_send";
+    case Point::kClientRetransmit:
+      return "client_retransmit";
+    case Point::kPillarIngress:
+      return "pillar_ingress";
+    case Point::kPrePrepare:
+      return "pre_prepare";
+    case Point::kPrepare:
+      return "prepare";
+    case Point::kCommit:
+      return "commit";
+    case Point::kReorderEnter:
+      return "reorder_enter";
+    case Point::kExecute:
+      return "execute";
+    case Point::kReplyEgress:
+      return "reply_egress";
+    case Point::kStableResult:
+      return "stable_result";
+  }
+  return "unknown";
+}
+
+TraceLog& TraceLog::instance() {
+  static TraceLog* log = new TraceLog();  // never destroyed
+  return *log;
+}
+
+void TraceLog::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  {
+    MutexLock lock(mutex_);
+    capacity_ = capacity;
+    ring_.clear();
+    ring_.reserve(capacity);
+    next_ = 0;
+    wrapped_ = false;
+  }
+  // Release ordering is unnecessary: record() re-checks state under mutex_.
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceLog::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceLog::record(const Event& event) {
+  Event stamped = event;
+  if (stamped.ts_us == 0) stamped.ts_us = now_us();
+  MutexLock lock(mutex_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(stamped);
+  } else {
+    ring_[next_] = stamped;
+    wrapped_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Event> TraceLog::snapshot() const {
+  MutexLock lock(mutex_);
+  if (!wrapped_) return ring_;
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+std::string TraceLog::snapshot_json() const {
+  std::vector<Event> events = snapshot();
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"ts_us\":%" PRIu64
+                  ",\"point\":\"%s\",\"node\":%u,\"pillar\":%u,\"seq\":%" PRIu64
+                  ",\"view\":%" PRIu64 ",\"client\":%" PRIu64
+                  ",\"request\":%" PRIu64 "}",
+                  e.ts_us, point_name(e.point), e.node, e.pillar, e.seq, e.view,
+                  e.client, e.request);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace copbft::trace

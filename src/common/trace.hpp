@@ -1,0 +1,102 @@
+// Request-lifecycle tracing: reconstructs the path of a single request
+// through the replicated system —
+//
+//   client send -> pillar ingress -> pre-prepare -> prepare -> commit
+//     -> reorder buffer -> execution -> reply egress
+//
+// Every event is stamped with (node, pillar, seq, view, client, request),
+// so filtering the log by (client, request) or by seq yields the full
+// story of one request or one consensus instance: which pillar ordered it,
+// when each protocol phase completed, and how long it waited in the
+// reorder buffer (the per-stage visibility that FnF-BFT/Marandi et al.
+// motivate for parallel-leader designs).
+//
+// Off by default: the only cost on a disabled hot path is one relaxed
+// atomic load per trace point. When enabled, events go into a bounded ring
+// under a mutex — tracing is a diagnostic tool, not a steady-state
+// production path, and the mutex keeps concurrent recording TSan-clean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/threading.hpp"
+
+namespace copbft::trace {
+
+enum class Point : std::uint8_t {
+  kClientSend = 0,    ///< client sealed and transmitted the request
+  kClientRetransmit,  ///< client re-fired a pending request
+  kPillarIngress,     ///< frame entered a pillar's queue-side handler
+  kPrePrepare,        ///< pillar accepted the pre-prepare for seq
+  kPrepare,           ///< prepare certificate complete
+  kCommit,            ///< commit certificate complete (instance delivered)
+  kReorderEnter,      ///< committed batch admitted to the reorder buffer
+  kExecute,           ///< batch left the reorder buffer and executed
+  kReplyEgress,       ///< reply sealed and handed to the transport
+  kStableResult,      ///< client matched f+1 replies (request is stable)
+};
+
+const char* point_name(Point p);
+
+struct Event {
+  std::uint64_t ts_us = 0;
+  Point point = Point::kClientSend;
+  /// Replica id, or the client id for client-side points.
+  std::uint32_t node = 0;
+  /// Pillar index for replica-side points (0 for single-pillar hosts).
+  std::uint32_t pillar = 0;
+  std::uint64_t seq = 0;   ///< consensus sequence number (0 = not assigned)
+  std::uint64_t view = 0;
+  std::uint64_t client = 0;   ///< requesting client id (0 = n/a, e.g. no-op)
+  std::uint64_t request = 0;  ///< client-local request id
+};
+
+class TraceLog {
+ public:
+  static TraceLog& instance();
+
+  /// Enables recording into a fresh ring of `capacity` events (older
+  /// events are overwritten once full).
+  void enable(std::size_t capacity = 1 << 16);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(const Event& event);
+
+  /// Events in arrival order (oldest first).
+  std::vector<Event> snapshot() const;
+  /// The snapshot rendered as a JSON array of event objects.
+  std::string snapshot_json() const;
+
+ private:
+  TraceLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mutex_;
+  std::vector<Event> ring_ COP_GUARDED_BY(mutex_);
+  std::size_t capacity_ COP_GUARDED_BY(mutex_) = 0;
+  std::size_t next_ COP_GUARDED_BY(mutex_) = 0;
+  bool wrapped_ COP_GUARDED_BY(mutex_) = false;
+};
+
+/// Trace-point helper: one relaxed load when tracing is off.
+inline void point(Point p, std::uint32_t node, std::uint32_t pillar,
+                  std::uint64_t seq, std::uint64_t view, std::uint64_t client,
+                  std::uint64_t request) {
+  TraceLog& log = TraceLog::instance();
+  if (!log.enabled()) return;
+  Event e;
+  e.point = p;
+  e.node = node;
+  e.pillar = pillar;
+  e.seq = seq;
+  e.view = view;
+  e.client = client;
+  e.request = request;
+  log.record(e);
+}
+
+}  // namespace copbft::trace

@@ -5,6 +5,7 @@
 #include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
+#include "common/trace.hpp"
 #include "core/checkpoint_artifact.hpp"
 #include "core/outbound.hpp"
 #include "protocol/wire.hpp"
@@ -28,6 +29,10 @@ bool equivalent_batches(const CommittedBatch& a, const CommittedBatch& b) {
   return true;
 }
 
+std::string exec_metric(ReplicaId self, const char* name) {
+  return "replica" + std::to_string(self) + ".exec." + name;
+}
+
 }  // namespace
 
 ExecutionStage::ExecutionStage(ReplicaId self,
@@ -42,7 +47,24 @@ ExecutionStage::ExecutionStage(ReplicaId self,
       crypto_(crypto),
       transport_(transport),
       command_(std::move(command)),
-      queue_(config.queue_capacity) {}
+      queue_(config.queue_capacity),
+      m_reorder_depth_(metrics::MetricsRegistry::global().gauge(
+          exec_metric(self, "reorder_depth"))),
+      m_drift_(
+          metrics::MetricsRegistry::global().gauge(exec_metric(self, "drift"))),
+      m_batches_executed_(metrics::MetricsRegistry::global().counter(
+          exec_metric(self, "batches_executed"))),
+      m_requests_executed_(metrics::MetricsRegistry::global().counter(
+          exec_metric(self, "requests_executed"))),
+      m_replies_sent_(metrics::MetricsRegistry::global().counter(
+          exec_metric(self, "replies_sent"))),
+      m_execute_us_(metrics::MetricsRegistry::global().histogram(
+          exec_metric(self, "execute_us"))) {
+  queue_.instrument(
+      metrics::MetricsRegistry::global().gauge(exec_metric(self, "queue_depth")),
+      metrics::MetricsRegistry::global().counter(
+          exec_metric(self, "queue_blocked_pushes")));
+}
 
 void ExecutionStage::start() {
   thread_ = named_thread("exec", [this] { run(); });
@@ -116,7 +138,11 @@ void ExecutionStage::admit(CommittedBatch batch) {
                   static_cast<unsigned long long>(batch.seq));
     return;
   }
+  m_drift_.set(static_cast<std::int64_t>(batch.seq - batch.stable_basis));
+  trace::point(trace::Point::kReorderEnter, self_, batch.pillar, batch.seq,
+               batch.view, /*client=*/0, /*request=*/0);
   reorder_.emplace(batch.seq, std::move(batch));
+  m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
 }
 
 void ExecutionStage::apply_ready() {
@@ -124,8 +150,12 @@ void ExecutionStage::apply_ready() {
     const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
     auto it = reorder_.find(next);
     if (it == reorder_.end()) break;
-    execute_batch(it->second);
+    {
+      metrics::ScopedTimer timer(m_execute_us_);
+      execute_batch(it->second);
+    }
     reorder_.erase(it);
+    m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
     {
       MutexLock lock(stats_mutex_);
       stats_.last_executed_seq = next;
@@ -137,6 +167,7 @@ void ExecutionStage::apply_ready() {
 }
 
 void ExecutionStage::execute_batch(const CommittedBatch& batch) {
+  m_batches_executed_.add();
   if (!batch.requests || batch.requests->empty()) {
     MutexLock lock(stats_mutex_);
     ++stats_.batches_executed;
@@ -147,8 +178,13 @@ void ExecutionStage::execute_batch(const CommittedBatch& batch) {
     MutexLock lock(stats_mutex_);
     ++stats_.batches_executed;
   }
-  for (const protocol::Request& req : *batch.requests)
+  for (const protocol::Request& req : *batch.requests) {
+    // The linking event: ties (client, request) to the sequence number the
+    // protocol-phase events are stamped with.
+    trace::point(trace::Point::kExecute, self_, batch.pillar, batch.seq,
+                 batch.view, req.client, req.id);
     execute_request(req, batch.view);
+  }
 }
 
 bool ExecutionStage::already_executed(ClientState& state,
@@ -190,6 +226,7 @@ void ExecutionStage::execute_request(const protocol::Request& request,
   }
 
   Bytes result = service_.execute(request);
+  m_requests_executed_.add();
   record_executed(state, request.id);
   const bool omit = config_.reply_mode == ReplyMode::kOmitOne &&
                     config_.omitted_replier(request.key()) == self_;
@@ -216,6 +253,9 @@ void ExecutionStage::send_reply(protocol::ClientId client,
       protocol::Reply{view, client, id, self_, std::move(result), {}};
   Bytes frame = seal_message(msg, crypto_, protocol::replica_node(self_),
                              {protocol::client_node(client)});
+  m_replies_sent_.add();
+  trace::point(trace::Point::kReplyEgress, self_, /*pillar=*/0, /*seq=*/0,
+               view, client, id);
   transport_.send(protocol::client_node(client), /*lane=*/0,
                   std::move(frame));
   MutexLock lock(stats_mutex_);

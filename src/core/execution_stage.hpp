@@ -22,6 +22,7 @@
 #include <unordered_set>
 
 #include "app/service.hpp"
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
 #include "common/threading.hpp"
 #include "core/events.hpp"
@@ -136,6 +137,15 @@ class ExecutionStage {
   /// installs must never regress below it.
   protocol::SeqNum installed_floor_ = 0;
   std::uint64_t stall_since_us_ = 0;
+
+  // Observability (registered once in the ctor; handles are stable).
+  metrics::Gauge& m_reorder_depth_;
+  metrics::Gauge& m_drift_;
+  metrics::Counter& m_batches_executed_;
+  metrics::Counter& m_requests_executed_;
+  metrics::Counter& m_replies_sent_;
+  metrics::HistogramMetric& m_execute_us_;
+
   mutable Mutex stats_mutex_;
   ExecutionStats stats_ COP_GUARDED_BY(stats_mutex_);
   std::jthread thread_;

@@ -3,6 +3,7 @@
 #include "common/invariant.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
+#include "common/trace.hpp"
 
 namespace copbft::core {
 namespace {
@@ -10,6 +11,11 @@ namespace {
 protocol::SeqSlice slice_for(std::uint32_t index,
                              const ReplicaRuntimeConfig& config) {
   return protocol::SeqSlice{index, config.num_pillars};
+}
+
+std::string metric_prefix(ReplicaId self, std::uint32_t index) {
+  return "replica" + std::to_string(self) + ".pillar" + std::to_string(index) +
+         ".";
 }
 
 }  // namespace
@@ -30,8 +36,20 @@ Pillar::Pillar(ReplicaId self, std::uint32_t index,
       on_stable_(std::move(on_stable)),
       queue_(config.queue_capacity),
       verifier_(crypto, protocol::replica_node(self)),
-      core_(config.protocol, self, slice_for(index, config), verifier_,
-            crypto) {}
+      core_(config.protocol, self, slice_for(index, config), verifier_, crypto),
+      m_frames_in_(metrics::MetricsRegistry::global().counter(
+          metric_prefix(self, index) + "frames_in")),
+      m_requests_in_(metrics::MetricsRegistry::global().counter(
+          metric_prefix(self, index) + "requests_in")),
+      m_instances_delivered_(metrics::MetricsRegistry::global().counter(
+          metric_prefix(self, index) + "instances_delivered")),
+      m_stable_seq_(metrics::MetricsRegistry::global().gauge(
+          metric_prefix(self, index) + "stable_seq")) {
+  queue_.instrument(metrics::MetricsRegistry::global().gauge(
+                        metric_prefix(self, index) + "queue_depth"),
+                    metrics::MetricsRegistry::global().counter(
+                        metric_prefix(self, index) + "queue_blocked_pushes"));
+}
 
 void Pillar::start() {
   thread_ = named_thread("pillar-" + std::to_string(index_),
@@ -71,11 +89,13 @@ void Pillar::run() {
 }
 
 void Pillar::publish_stats() {
+  m_stable_seq_.set(static_cast<std::int64_t>(core_.stable_seq()));
   MutexLock lock(stats_mutex_);
   stats_snapshot_ = core_.stats();
 }
 
 void Pillar::handle_frame(transport::ReceivedFrame& frame) {
+  m_frames_in_.add();
   auto decoded = protocol::decode_message(frame.bytes);
   if (!decoded) {
     COP_LOG_WARN("replica %u pillar %u: malformed frame from node %u", self_,
@@ -105,6 +125,9 @@ void Pillar::feed_request(protocol::Request req, bool verified) {
   // Offloaded pre-execution (paper §4.3.1): reject malformed operations
   // before they consume an ordering slot.
   if (service_ && !service_->pre_validate(req)) return;
+  m_requests_in_.add();
+  trace::point(trace::Point::kPillarIngress, self_, index_, /*seq=*/0,
+               /*view=*/0, req.client, req.id);
   core_.on_request(std::move(req), now_us(), verified);
 }
 
@@ -139,6 +162,7 @@ void Pillar::drain_effects() {
     } else if (auto* send = std::get_if<protocol::SendTo>(&effect)) {
       outbound_.send_to(send->to, std::move(send->msg), index_);
     } else if (auto* deliver = std::get_if<protocol::Deliver>(&effect)) {
+      m_instances_delivered_.add();
       exec_.submit(CommittedBatch{deliver->seq, deliver->view,
                                   std::move(deliver->requests), index_,
                                   core_.stable_seq()});

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "app/service.hpp"
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
 #include "common/threading.hpp"
 #include "core/events.hpp"
@@ -96,6 +97,12 @@ class Pillar final : public transport::FrameSink {
   BoundedQueue<PillarCommand> commands_{1 << 16};
   protocol::CryptoVerifier verifier_;
   protocol::PbftCore core_;
+
+  // Observability (registered once in the ctor; handles are stable).
+  metrics::Counter& m_frames_in_;
+  metrics::Counter& m_requests_in_;
+  metrics::Counter& m_instances_delivered_;
+  metrics::Gauge& m_stable_seq_;
 
   mutable Mutex stats_mutex_;
   protocol::CoreStats stats_snapshot_ COP_GUARDED_BY(stats_mutex_);

@@ -12,6 +12,10 @@ namespace {
 /// could still catch up by retransmission.
 constexpr std::size_t kHeldCheckpoints = 4;
 
+std::string st_metric(ReplicaId self, const char* name) {
+  return "replica" + std::to_string(self) + ".state_transfer." + name;
+}
+
 }  // namespace
 
 StateTransferManager::StateTransferManager(
@@ -25,7 +29,15 @@ StateTransferManager::StateTransferManager(
       exec_(exec),
       on_installed_(std::move(on_installed)),
       queue_(config.queue_capacity),
-      verifier_(crypto, protocol::replica_node(self)) {}
+      verifier_(crypto, protocol::replica_node(self)),
+      m_started_(metrics::MetricsRegistry::global().counter(
+          st_metric(self, "transfers_started"))),
+      m_completed_(metrics::MetricsRegistry::global().counter(
+          st_metric(self, "transfers_completed"))),
+      m_served_(metrics::MetricsRegistry::global().counter(
+          st_metric(self, "snapshots_served"))),
+      m_rejected_(metrics::MetricsRegistry::global().counter(
+          st_metric(self, "snapshots_rejected"))) {}
 
 void StateTransferManager::start() {
   thread_ = named_thread("statex", [this] { run(); });
@@ -134,6 +146,7 @@ void StateTransferManager::handle_request(
           seal_message(msg, crypto_, protocol::replica_node(self_), {to});
       transport_.send(to, lane(), std::move(frame));
     }
+    m_served_.add();
     MutexLock lock(stats_mutex_);
     ++stats_.snapshots_served;
     return;
@@ -179,6 +192,7 @@ void StateTransferManager::handle_reply(protocol::StateReply reply) {
 void StateTransferManager::begin_transfer(std::uint64_t now) {
   catching_up_ = true;
   incoming_.clear();
+  m_started_.add();
   {
     MutexLock lock(stats_mutex_);
     ++stats_.transfers_started;
@@ -240,6 +254,7 @@ void StateTransferManager::finish_install(const InstallDone& done) {
     // Hash mismatch or malformed artifact: the peer served a bad snapshot
     // (Byzantine or stale). Never retry it for this transfer; try the
     // next attested candidate.
+    m_rejected_.add();
     {
       MutexLock lock(stats_mutex_);
       ++stats_.snapshots_rejected;
@@ -252,6 +267,7 @@ void StateTransferManager::finish_install(const InstallDone& done) {
   }
   catching_up_ = false;
   incoming_.clear();
+  m_completed_.add();
   {
     MutexLock lock(stats_mutex_);
     ++stats_.transfers_completed;

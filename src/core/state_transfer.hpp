@@ -29,6 +29,7 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/queue.hpp"
 #include "common/threading.hpp"
 #include "core/execution_stage.hpp"
@@ -170,6 +171,12 @@ class StateTransferManager final : public transport::FrameSink {
   protocol::SeqNum min_seq_ = 0;
   std::uint64_t deadline_us_ = 0;
   std::map<protocol::ReplicaId, Incoming> incoming_;
+
+  // Observability (registered once in the ctor; handles are stable).
+  metrics::Counter& m_started_;
+  metrics::Counter& m_completed_;
+  metrics::Counter& m_served_;
+  metrics::Counter& m_rejected_;
 
   mutable Mutex stats_mutex_;
   StateTransferStats stats_ COP_GUARDED_BY(stats_mutex_);

@@ -5,8 +5,19 @@
 
 #include "common/invariant.hpp"
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 
 namespace copbft::protocol {
+namespace {
+
+/// Lifecycle trace helper: the pillar index is the slice offset.
+void trace_instance(trace::Point point, ReplicaId self, const SeqSlice& slice,
+                    SeqNum seq, ViewId view) {
+  trace::point(point, self, static_cast<std::uint32_t>(slice.offset), seq,
+               view, /*client=*/0, /*request=*/0);
+}
+
+}  // namespace
 
 PbftCore::PbftCore(ProtocolConfig config, ReplicaId self, SeqSlice slice,
                    MessageVerifier& verifier,
@@ -169,6 +180,7 @@ bool PbftCore::accept_pre_prepare(const PrePrepare& pp, ReplicaId proposer,
   inst.digest = pp.digest;
   inst.requests = std::make_shared<const std::vector<Request>>(pp.requests);
   inst.last_activity_us = now_us_;
+  trace_instance(trace::Point::kPrePrepare, self_, slice_, pp.seq, pp.view);
 
   // These requests now have a place in the total order; drop our pending
   // copies and remember them as ordered.
@@ -302,6 +314,7 @@ void PbftCore::evaluate(Instance& inst) {
 
   if (!inst.prepared && inst.prepares.size() >= two_f) {
     inst.prepared = true;
+    trace_instance(trace::Point::kPrepare, self_, slice_, inst.seq, inst.view);
     if (!inst.sent_commit) {
       inst.sent_commit = true;
       Commit commit{inst.view, inst.seq, inst.digest, self_, {}};
@@ -333,6 +346,7 @@ void PbftCore::evaluate(Instance& inst) {
 void PbftCore::deliver(Instance& inst) {
   if (inst.delivered) return;
   inst.delivered = true;
+  trace_instance(trace::Point::kCommit, self_, slice_, inst.seq, inst.view);
   note_progress();
   ++stats_.instances_delivered;
   stats_.requests_delivered += inst.requests ? inst.requests->size() : 0;
@@ -430,6 +444,7 @@ void PbftCore::propose_batch(std::vector<Request> batch) {
   inst.requests =
       std::make_shared<const std::vector<Request>>(pp.requests);
   for (const Request& req : *inst.requests) ordered_keys_.insert(req.key());
+  trace_instance(trace::Point::kPrePrepare, self_, slice_, seq, view_);
 
   emit(Broadcast{std::move(pp)});
   process_deferred(inst);

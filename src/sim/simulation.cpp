@@ -130,6 +130,7 @@ struct ExecSim {
 
   SeqNum next_seq = 1;
   std::map<SeqNum, Deliver> reorder;
+  std::size_t reorder_peak = 0;
   std::uint64_t executed_requests = 0;
   std::uint64_t executed_instances = 0;
   SeqNum last_gap_frontier = 0;
@@ -639,6 +640,7 @@ void ReplicaSim::complete_state_transfer(SeqNum observed) {
 
 double ExecSim::on_commit(const Deliver& d) {
   if (d.seq >= next_seq && !reorder.contains(d.seq)) reorder.emplace(d.seq, d);
+  reorder_peak = std::max(reorder_peak, reorder.size());
   return world.costs.exec_order_ns + apply_ready();
 }
 
@@ -907,6 +909,12 @@ SimResult run_simulation(const SimConfig& config) {
   if (config.pause_replica < config.protocol.num_replicas)
     result.laggard_next_seq =
         world.replicas[config.pause_replica]->exec->next_seq;
+  const double elapsed_ns = static_cast<double>(end);
+  for (const auto& t : world.replicas[0]->machine.threads())
+    result.leader_stages.push_back(SimResult::StageLoad{
+        t->name(), t->busy_ns() / elapsed_ns,
+        static_cast<std::uint64_t>(t->backlog())});
+  result.leader_reorder_peak = world.replicas[0]->exec->reorder_peak;
 
   if (std::getenv("COPBFT_SIM_DEBUG")) {
     double elapsed = static_cast<double>(end);

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "core/runtime_config.hpp"
@@ -125,6 +127,19 @@ struct SimResult {
   std::uint64_t state_transfers = 0;
   std::uint64_t laggard_next_seq = 0;
   std::uint64_t cluster_next_seq = 0;
+
+  /// Per-stage load of the leader machine's simulated threads: fraction of
+  /// the run each stage was busy and its queued jobs at the end (the
+  /// per-stage series the BENCH json exposes alongside the headline
+  /// numbers).
+  struct StageLoad {
+    std::string name;
+    double busy_fraction = 0;
+    std::uint64_t backlog = 0;
+  };
+  std::vector<StageLoad> leader_stages;
+  /// Peak depth of the leader's reorder buffer (execution-stage series).
+  std::uint64_t leader_reorder_peak = 0;
 };
 
 SimResult run_simulation(const SimConfig& config);

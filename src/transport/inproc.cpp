@@ -1,5 +1,7 @@
 #include "transport/inproc.hpp"
 
+#include "common/metrics.hpp"
+
 namespace copbft::transport {
 
 void InprocTransport::register_sink(LaneId lane,
@@ -29,13 +31,25 @@ void InprocNetwork::register_sink(crypto::KeyNodeId node, LaneId lane,
 bool InprocNetwork::send(crypto::KeyNodeId from, crypto::KeyNodeId to,
                          LaneId lane, Bytes frame) {
   std::shared_ptr<FrameSink> sink;
+  LaneCounters* counters = nullptr;
   {
     MutexLock lock(mutex_);
     if (filter_ && !filter_(from, to, lane)) return true;
     auto it = sinks_.find({to, lane});
     if (it == sinks_.end()) return false;
     sink = it->second;
+    auto& slot = lane_counters_[lane];
+    if (!slot) {
+      auto& registry = metrics::MetricsRegistry::global();
+      std::string prefix = "inproc.lane" + std::to_string(lane) + ".";
+      slot = std::make_unique<LaneCounters>(
+          LaneCounters{registry.counter(prefix + "frames"),
+                       registry.counter(prefix + "bytes")});
+    }
+    counters = slot.get();
   }
+  counters->frames.add();
+  counters->bytes.add(frame.size());
   // Blocking deliver outside the registry lock: backpressure without
   // serializing unrelated senders.
   return sink->deliver(ReceivedFrame{from, lane, std::move(frame)});

@@ -5,7 +5,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
+#include "common/metrics.hpp"
 #include "common/threading.hpp"
 #include "transport/transport.hpp"
 
@@ -54,11 +56,19 @@ class InprocNetwork {
   void shutdown_all();
 
  private:
+  struct LaneCounters {
+    metrics::Counter& frames;
+    metrics::Counter& bytes;
+  };
+
   Mutex mutex_;
   std::map<crypto::KeyNodeId, std::unique_ptr<InprocTransport>> endpoints_
       COP_GUARDED_BY(mutex_);
   std::map<std::pair<crypto::KeyNodeId, LaneId>, std::shared_ptr<FrameSink>>
       sinks_ COP_GUARDED_BY(mutex_);
+  /// Per-lane traffic counters, bound lazily on first send.
+  std::map<LaneId, std::unique_ptr<LaneCounters>> lane_counters_
+      COP_GUARDED_BY(mutex_);
   DeliverFilter filter_ COP_GUARDED_BY(mutex_);
 };
 

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "common/logging.hpp"
@@ -20,10 +22,21 @@ struct Hello {
   std::uint32_t lane;
 };
 
+constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+
+std::string lane_metric(crypto::KeyNodeId self, LaneId lane,
+                        const char* name) {
+  return "tcp.node" + std::to_string(self) + ".lane" + std::to_string(lane) +
+         "." + name;
+}
+
+}  // namespace
+
 bool read_exact(int fd, void* buf, std::size_t len) {
   auto* p = static_cast<Byte*>(buf);
   while (len > 0) {
     ssize_t n = ::recv(fd, p, len, 0);
+    if (n < 0 && errno == EINTR) continue;  // signal, not connection death
     if (n <= 0) return false;
     p += n;
     len -= static_cast<std::size_t>(n);
@@ -31,9 +44,16 @@ bool read_exact(int fd, void* buf, std::size_t len) {
   return true;
 }
 
-constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
-
-}  // namespace
+bool write_all_fd(int fd, const Byte* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal, not connection death
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
 
 TcpTransport::TcpTransport(crypto::KeyNodeId self, std::uint16_t listen_port,
                            std::map<crypto::KeyNodeId, TcpPeer> peers)
@@ -70,7 +90,10 @@ bool TcpTransport::start() {
 void TcpTransport::accept_loop(int listen_fd) {
   while (true) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) return;  // listen socket closed during shutdown
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // signal, not shutdown
+      return;  // listen socket closed during shutdown
+    }
     int yes = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
     MutexLock lock(mutex_);
@@ -96,11 +119,18 @@ void TcpTransport::recv_loop(int fd) {
     ::close(fd);
     return;
   }
+  auto& registry = metrics::MetricsRegistry::global();
+  metrics::Counter& rx_frames =
+      registry.counter(lane_metric(self_, hello.lane, "rx_frames"));
+  metrics::Counter& rx_bytes =
+      registry.counter(lane_metric(self_, hello.lane, "rx_bytes"));
   while (true) {
     std::uint32_t len = 0;
     if (!read_exact(fd, &len, sizeof len) || len > kMaxFrame) break;
     Bytes frame(len);
     if (len > 0 && !read_exact(fd, frame.data(), len)) break;
+    rx_frames.add();
+    rx_bytes.add(sizeof len + len);
     if (!sink->deliver(ReceivedFrame{hello.from, hello.lane, std::move(frame)}))
       break;  // sink closed
   }
@@ -124,10 +154,30 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(peer.port);
-  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    // A signal during connect() does NOT abort the handshake: it proceeds
+    // asynchronously (POSIX). Wait for completion and read the outcome
+    // from SO_ERROR instead of treating the peer as unreachable.
+    bool recovered = false;
+    if (errno == EINTR) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc;
+      while ((rc = ::poll(&pfd, 1, /*ms=*/10'000)) < 0 && errno == EINTR) {
+      }
+      int err = 0;
+      socklen_t err_len = sizeof err;
+      recovered = rc > 0 &&
+                  ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) == 0 &&
+                  err == 0;
+    }
+    if (!recovered) {
+      ::close(fd);
+      return -1;
+    }
   }
   int yes = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
@@ -136,13 +186,7 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
 
 bool TcpTransport::write_all(const OutConn& conn, const Byte* data,
                              std::size_t len) {
-  while (len > 0) {
-    ssize_t n = ::send(conn.fd, data, len, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
+  return write_all_fd(conn.fd, data, len);
 }
 
 bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
@@ -156,7 +200,11 @@ bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
       if (peer == peers_.end()) return false;
       int fd = connect_to(peer->second);
       if (fd < 0) return false;
-      slot = std::make_unique<OutConn>(fd);
+      auto& registry = metrics::MetricsRegistry::global();
+      registry.counter(lane_metric(self_, lane, "connects")).add();
+      slot = std::make_unique<OutConn>(
+          fd, registry.counter(lane_metric(self_, lane, "tx_frames")),
+          registry.counter(lane_metric(self_, lane, "tx_bytes")));
       Hello hello{self_, lane};
       // The connection is not published yet: no writer contention, the
       // registry lock alone covers the hello.
@@ -174,8 +222,12 @@ bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
   // same architecture family; the *protocol* encoding above is explicit).
   std::uint32_t len = static_cast<std::uint32_t>(frame.size());
   MutexLock wlock(conn->write_mutex);
-  return write_all(*conn, reinterpret_cast<const Byte*>(&len), sizeof len) &&
-         write_all(*conn, frame.data(), frame.size());
+  if (!write_all(*conn, reinterpret_cast<const Byte*>(&len), sizeof len) ||
+      !write_all(*conn, frame.data(), frame.size()))
+    return false;
+  conn->tx_frames.add();
+  conn->tx_bytes.add(sizeof len + frame.size());
+  return true;
 }
 
 void TcpTransport::shutdown() {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/threading.hpp"
 #include "transport/transport.hpp"
 
@@ -21,6 +22,15 @@ struct TcpPeer {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
 };
+
+/// Reads exactly `len` bytes from `fd`. Retries on EINTR: a signal
+/// delivered to the reading thread (profilers, timers) interrupts recv()
+/// with a partial transfer in flight, which is not connection death.
+/// Returns false on EOF or a real error.
+bool read_exact(int fd, void* buf, std::size_t len);
+
+/// Writes all `len` bytes to `fd` (MSG_NOSIGNAL), retrying on EINTR.
+bool write_all_fd(int fd, const Byte* data, std::size_t len);
 
 class TcpTransport final : public Transport {
  public:
@@ -44,9 +54,14 @@ class TcpTransport final : public Transport {
  private:
   /// One outgoing connection. `fd` is immutable after construction; the
   /// mutex serializes writers so frames are never interleaved on the wire.
+  /// Per-lane traffic counters are bound at connect time (cold path) so
+  /// the per-frame accounting is a cached pointer, not a registry lookup.
   struct OutConn {
-    explicit OutConn(int fd) : fd(fd) {}
+    OutConn(int fd, metrics::Counter& tx_frames, metrics::Counter& tx_bytes)
+        : fd(fd), tx_frames(tx_frames), tx_bytes(tx_bytes) {}
     const int fd;
+    metrics::Counter& tx_frames;
+    metrics::Counter& tx_bytes;
     Mutex write_mutex;
   };
 

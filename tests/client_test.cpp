@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <set>
+
 #include "client/client.hpp"
 #include "core/outbound.hpp"
 #include "transport/inproc.hpp"
@@ -200,6 +204,76 @@ TEST_F(ClientHarness, StopFailsOutstandingInvocations) {
                       });
   client.stop();
   EXPECT_EQ(called.load(), 1) << "callback fired with empty result";
+}
+
+// ---- retransmission backoff -------------------------------------------
+
+TEST(Backoff, DoublesUntilCapWithBoundedJitter) {
+  Rng rng(42);
+  const std::uint64_t base = 100'000, cap = 800'000;
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t ideal = std::min(cap, base << attempt);
+    for (int i = 0; i < 200; ++i) {
+      std::uint64_t d = client::retransmit_backoff_us(base, cap, attempt, rng);
+      EXPECT_GE(d, ideal - ideal / 8) << "attempt " << attempt;
+      EXPECT_LE(d, ideal + ideal / 8) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(Backoff, JitterSpreadsDeadlines) {
+  Rng rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i)
+    seen.insert(client::retransmit_backoff_us(1'000'000, 8'000'000, 0, rng));
+  EXPECT_GT(seen.size(), 32u) << "jitter must not collapse to a point";
+}
+
+TEST(Backoff, DegenerateInputsAreSafe) {
+  Rng rng(3);
+  EXPECT_GE(client::retransmit_backoff_us(0, 0, 0, rng), 1u);
+  for (int i = 0; i < 10; ++i) {
+    // cap below base: raised to base, never zero.
+    std::uint64_t d = client::retransmit_backoff_us(500, 100, 7, rng);
+    EXPECT_GE(d, 500 - 500 / 8);
+    EXPECT_LE(d, 500 + 500 / 8);
+  }
+  // Shift that would overflow 64 bits saturates at the cap, and the
+  // jitter band around a near-max cap must not wrap.
+  std::uint64_t huge = client::retransmit_backoff_us(
+      1, std::numeric_limits<std::uint64_t>::max(), 200, rng);
+  EXPECT_GE(huge, 1u);
+}
+
+// Regression: retransmit_due used to rearm every due request with the
+// fixed base timeout. The schedule must instead (a) jitter deadlines so
+// concurrently-issued requests never fall due in lockstep, and (b) back
+// off exponentially — bounded ABOVE by the doubling schedule, which a
+// fixed rearm would exceed several-fold.
+TEST_F(ClientHarness, RetransmitDeadlinesJitteredAndBackedOff) {
+  auto& client = make_client(8, /*retransmit_us=*/30'000);
+  for (int i = 0; i < 4; ++i)
+    client.invoke_async(to_bytes("op"), 0, [](Bytes, std::uint64_t) {});
+
+  auto deadlines = client.pending_deadlines();
+  ASSERT_EQ(deadlines.size(), 4u);
+  std::set<std::uint64_t> distinct(deadlines.begin(), deadlines.end());
+  EXPECT_EQ(distinct.size(), deadlines.size())
+      << "initial deadlines must already be de-synchronized";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  // Doubling from 30ms fits at most ~5 rearms per request into 600ms
+  // (30+60+120+240+480 > 600 even before jitter); a fixed 30ms rearm
+  // would fire ~20 times per request.
+  EXPECT_GE(client.retransmissions(), 4u) << "every request retransmitted";
+  EXPECT_LE(client.retransmissions(), 4u * 6)
+      << "deadline schedule is not backing off";
+
+  auto later = client.pending_deadlines();
+  ASSERT_EQ(later.size(), 4u);
+  EXPECT_GT(*std::min_element(later.begin(), later.end()),
+            *std::max_element(deadlines.begin(), deadlines.end()))
+      << "every deadline moved forward";
 }
 
 TEST_F(ClientHarness, LatencyRecorded) {

@@ -193,6 +193,39 @@ TEST(Histogram, LargeValues) {
               static_cast<double>(1ULL << 40) * 0.04);
 }
 
+// Regression: percentile() must report the *upper* edge of the bucket
+// holding the q-th sample (HdrHistogram convention). Reporting the lower
+// edge under-states every percentile by up to the ~3% bucket width, so
+// estimates dropped below the exact sample — tail comparisons between
+// systems flipped when the true tails straddled a bucket boundary.
+TEST(Histogram, PercentileNeverBelowExactSample) {
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  Rng rng(99);
+  for (int i = 0; i < 20'000; ++i) {
+    std::uint64_t v = 1 + rng.below(1'000'000);
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    std::uint64_t exact = samples[static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1))];
+    std::uint64_t estimate = h.percentile(q);
+    EXPECT_GE(estimate, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(estimate),
+              static_cast<double>(exact) * 1.04 + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileClampedToObservedMax) {
+  Histogram h;
+  h.record(1000);  // bucket [992, 1023]: upper edge exceeds the sample
+  EXPECT_EQ(h.percentile(0.5), 1000u);
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
 // ---- SeqSlice ----------------------------------------------------------
 
 TEST(SeqSlice, TrivialSliceContainsAll) {

@@ -1,4 +1,11 @@
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "transport/inproc.hpp"
@@ -178,6 +185,68 @@ TEST_F(TcpTest, SendToUnknownPeerFails) {
 TEST_F(TcpTest, SendAfterShutdownFails) {
   a_->shutdown();
   EXPECT_FALSE(a_->send(2, 0, to_bytes("x")));
+}
+
+// ---- EINTR robustness -------------------------------------------------
+
+extern "C" void eintr_noop_handler(int) {}
+
+// Regression: read_exact/write_all treated every negative return as a dead
+// connection. A signal without SA_RESTART delivered mid-transfer makes
+// recv/send fail with EINTR, which tore down perfectly healthy connections
+// (and, worse, mid-frame, desynchronizing the length-prefixed stream).
+// Pelt both ends of a socketpair with signals while a multi-megabyte
+// transfer dribbles through deliberately tiny socket buffers.
+TEST(TcpEintr, LargeTransferSurvivesSignalStorm) {
+  struct sigaction sa = {};
+  struct sigaction old = {};
+  sa.sa_handler = eintr_noop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART: syscalls must see EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int small = 4096;  // force many short reads/writes
+  setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof small);
+
+  constexpr std::size_t kLen = 8 * 1024 * 1024;
+  Bytes payload(kLen);
+  Rng rng(7);
+  for (auto& byte : payload) byte = static_cast<Byte>(rng.below(256));
+  Bytes received(kLen);
+
+  // Threads park on `stop` after finishing so pthread_kill always targets
+  // a live thread.
+  std::atomic<bool> writer_done{false}, reader_done{false}, stop{false};
+  bool write_ok = false, read_ok = false;
+  std::thread writer([&] {
+    write_ok = write_all_fd(fds[0], payload.data(), payload.size());
+    writer_done.store(true);
+    while (!stop.load()) std::this_thread::yield();
+  });
+  std::thread reader([&] {
+    read_ok = read_exact(fds[1], received.data(), received.size());
+    reader_done.store(true);
+    while (!stop.load()) std::this_thread::yield();
+  });
+
+  while (!writer_done.load() || !reader_done.load()) {
+    pthread_kill(writer.native_handle(), SIGUSR1);
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  stop.store(true);
+  writer.join();
+  reader.join();
+  close(fds[0]);
+  close(fds[1]);
+  sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_TRUE(write_ok);
+  EXPECT_TRUE(read_ok);
+  EXPECT_EQ(received, payload);
 }
 
 }  // namespace
