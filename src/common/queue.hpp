@@ -66,6 +66,20 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push that leaves `value` untouched on failure, so the
+  /// caller can fall back to handling it locally (e.g. the execution
+  /// stage sending a reply inline when a pillar's queue is saturated).
+  bool try_push_ref(T& value) {
+    {
+      MutexLock lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      publish_depth();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocking pop; nullopt iff closed and drained.
   std::optional<T> pop() {
     CvLock lock(mutex_);

@@ -53,11 +53,36 @@ struct PreparedInput {
   protocol::IncomingMessage im;
 };
 
+// ---- execution-stage -> protocol-logic reply offload ----------------------
+
+/// Offloaded post-execution (paper §4.3.2): everything a pillar needs to
+/// finish a reply outside the sequential execution stage — run
+/// `Service::post_process`, build and MAC-seal the Reply, and send it.
+/// Routed to the *originating* pillar (the one that ran instance `seq`),
+/// so reply work parallelizes across the NP pillar threads.
+struct ReplyTask {
+  protocol::ClientId client = 0;
+  protocol::RequestId request = 0;
+  protocol::ViewId view = 0;
+  /// Originating pillar (seq % NP) and the instance the request rode in.
+  std::uint32_t pillar = 0;
+  protocol::SeqNum seq = 0;
+  /// The ordered-execution result. Deterministic and part of the
+  /// replicated client table; `post_process` (non-agreed decoration) is
+  /// applied downstream in the pillar, for fresh replies only.
+  Bytes result;
+  /// The batch the request came from, or null for a cached retransmission
+  /// (which resends the raw cached result and skips post_process).
+  std::shared_ptr<const std::vector<protocol::Request>> requests;
+  /// Index of the request within `requests` (when non-null).
+  std::uint32_t index = 0;
+};
+
 /// Everything a protocol-logic thread consumes: network frames,
-/// pre-processed messages and intra-replica commands, in one queue so the
-/// thread has a single blocking point.
-using PillarEvent =
-    std::variant<transport::ReceivedFrame, PillarCommand, PreparedInput>;
+/// pre-processed messages, intra-replica commands, and offloaded reply
+/// work, in one queue so the thread has a single blocking point.
+using PillarEvent = std::variant<transport::ReceivedFrame, PillarCommand,
+                                 PreparedInput, ReplyTask>;
 
 // ---- protocol-logic -> execution-stage --------------------------------
 

@@ -33,7 +33,71 @@ std::string exec_metric(ReplicaId self, const char* name) {
   return "replica" + std::to_string(self) + ".exec." + name;
 }
 
+/// Live sequence numbers span at most [frontier, stable + window]; the
+/// frontier can itself trail stability, so 2x window plus slack covers
+/// every buffered seq with distinct slots. Clamped so a pathological
+/// window cannot exhaust memory — collisions are then legal and resolved
+/// by admit().
+std::size_t ring_slots(std::uint64_t window) {
+  const std::uint64_t want = 2 * window + 2;
+  std::size_t n = 64;
+  while (n < want && n < (std::size_t{1} << 20)) n <<= 1;
+  return n;
+}
+
 }  // namespace
+
+// --------------------------------------------------------------------------
+// ReorderRing
+
+ExecutionStage::ReorderRing::ReorderRing(std::uint64_t window)
+    : slots_(ring_slots(window)), mask_(slots_.size() - 1) {}
+
+CommittedBatch* ExecutionStage::ReorderRing::find(protocol::SeqNum seq) {
+  auto& cell = slots_[slot(seq)];
+  if (cell && cell->seq == seq) return &*cell;
+  return nullptr;
+}
+
+CommittedBatch* ExecutionStage::ReorderRing::occupant(protocol::SeqNum seq) {
+  auto& cell = slots_[slot(seq)];
+  return cell ? &*cell : nullptr;
+}
+
+void ExecutionStage::ReorderRing::insert(CommittedBatch batch) {
+  auto& cell = slots_[slot(batch.seq)];
+  cell.emplace(std::move(batch));
+  ++count_;
+}
+
+void ExecutionStage::ReorderRing::erase(protocol::SeqNum seq) {
+  auto& cell = slots_[slot(seq)];
+  if (cell && cell->seq == seq) {
+    cell.reset();
+    --count_;
+  }
+}
+
+void ExecutionStage::ReorderRing::erase_upto(protocol::SeqNum upto) {
+  if (count_ == 0) return;
+  for (auto& cell : slots_) {
+    if (cell && cell->seq <= upto) {
+      cell.reset();
+      --count_;
+    }
+  }
+}
+
+protocol::SeqNum ExecutionStage::ReorderRing::highest() const {
+  protocol::SeqNum best = 0;
+  if (count_ == 0) return best;
+  for (const auto& cell : slots_) {
+    if (cell && cell->seq > best) best = cell->seq;
+  }
+  return best;
+}
+
+// --------------------------------------------------------------------------
 
 ExecutionStage::ExecutionStage(ReplicaId self,
                                const ReplicaRuntimeConfig& config,
@@ -48,6 +112,7 @@ ExecutionStage::ExecutionStage(ReplicaId self,
       transport_(transport),
       command_(std::move(command)),
       queue_(config.queue_capacity),
+      reorder_(config.protocol.window),
       m_reorder_depth_(metrics::MetricsRegistry::global().gauge(
           exec_metric(self, "reorder_depth"))),
       m_drift_(
@@ -73,6 +138,29 @@ void ExecutionStage::start() {
 void ExecutionStage::stop() {
   queue_.close();
   if (thread_.joinable()) thread_.join();
+}
+
+ExecutionStats ExecutionStage::stats() const {
+  ExecutionStats out;
+  // Acquire loads pairing with the stage thread's release stores. The
+  // progress counters are read first: an observer that sees a request
+  // counted is then guaranteed to also see everything counted before it
+  // (e.g. the matching reply omission — tests sum both).
+  out.requests_executed = n_requests_executed_.get();
+  out.last_executed_seq = n_last_executed_seq_.get();
+  out.batches_executed = n_batches_executed_.get();
+  out.noops_executed = n_noops_executed_.get();
+  out.duplicates_suppressed = n_duplicates_suppressed_.get();
+  out.replies_sent = n_replies_sent_.get();
+  out.replies_offloaded = n_replies_offloaded_.get();
+  out.replies_omitted = n_replies_omitted_.get();
+  out.checkpoints_triggered = n_checkpoints_triggered_.get();
+  out.gap_fills_requested = n_gap_fills_requested_.get();
+  out.reorder_slot_drops = n_reorder_slot_drops_.get();
+  out.state_installs = n_state_installs_.get();
+  out.installs_rejected = n_installs_rejected_.get();
+  out.installed_seq = n_installed_seq_.get();
+  return out;
 }
 
 void ExecutionStage::run() {
@@ -128,38 +216,42 @@ void ExecutionStage::admit(CommittedBatch batch) {
       static_cast<unsigned long long>(batch.stable_basis),
       static_cast<unsigned long long>(config_.protocol.window));
 
-  auto it = reorder_.find(batch.seq);
-  if (it != reorder_.end()) {
+  if (CommittedBatch* existing = reorder_.find(batch.seq)) {
     // A duplicate commit is tolerated, a conflicting one is a fork: two
     // different batches for one slot can not both enter the total order.
-    COP_INVARIANT(equivalent_batches(it->second, batch),
+    COP_INVARIANT(equivalent_batches(*existing, batch),
                   "conflicting commits for seq %llu: the total order would "
                   "fork or leave a hole",
                   static_cast<unsigned long long>(batch.seq));
     return;
   }
+  if (CommittedBatch* occupant = reorder_.occupant(batch.seq)) {
+    // Ring wrap-around — only reachable when the drift bound exceeded the
+    // clamped ring size. Keep the lower sequence number (it executes
+    // first) and drop the higher one; gap detection re-fetches it.
+    n_reorder_slot_drops_.add();
+    if (occupant->seq < batch.seq) return;
+    reorder_.erase(occupant->seq);
+  }
   m_drift_.set(static_cast<std::int64_t>(batch.seq - batch.stable_basis));
   trace::point(trace::Point::kReorderEnter, self_, batch.pillar, batch.seq,
                batch.view, /*client=*/0, /*request=*/0);
-  reorder_.emplace(batch.seq, std::move(batch));
+  reorder_.insert(std::move(batch));
   m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
 }
 
 void ExecutionStage::apply_ready() {
   while (true) {
     const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
-    auto it = reorder_.find(next);
-    if (it == reorder_.end()) break;
+    CommittedBatch* batch = reorder_.find(next);
+    if (!batch) break;
     {
       metrics::ScopedTimer timer(m_execute_us_);
-      execute_batch(it->second);
+      execute_batch(*batch);
     }
-    reorder_.erase(it);
+    reorder_.erase(next);
     m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
-    {
-      MutexLock lock(stats_mutex_);
-      stats_.last_executed_seq = next;
-    }
+    n_last_executed_seq_.set(next);
     maybe_checkpoint(next);
     next_seq_.store(next + 1, std::memory_order_relaxed);
     stall_since_us_ = 0;
@@ -168,22 +260,18 @@ void ExecutionStage::apply_ready() {
 
 void ExecutionStage::execute_batch(const CommittedBatch& batch) {
   m_batches_executed_.add();
+  n_batches_executed_.add();
   if (!batch.requests || batch.requests->empty()) {
-    MutexLock lock(stats_mutex_);
-    ++stats_.batches_executed;
-    ++stats_.noops_executed;
+    n_noops_executed_.add();
     return;
   }
-  {
-    MutexLock lock(stats_mutex_);
-    ++stats_.batches_executed;
-  }
-  for (const protocol::Request& req : *batch.requests) {
+  const auto& requests = *batch.requests;
+  for (std::uint32_t i = 0; i < requests.size(); ++i) {
     // The linking event: ties (client, request) to the sequence number the
     // protocol-phase events are stamped with.
     trace::point(trace::Point::kExecute, self_, batch.pillar, batch.seq,
-                 batch.view, req.client, req.id);
-    execute_request(req, batch.view);
+                 batch.view, requests[i].client, requests[i].id);
+    execute_request(requests[i], batch, i);
   }
 }
 
@@ -208,19 +296,25 @@ void ExecutionStage::record_executed(ClientState& state,
 }
 
 void ExecutionStage::execute_request(const protocol::Request& request,
-                                     protocol::ViewId view) {
+                                     const CommittedBatch& batch,
+                                     std::uint32_t index) {
   ClientState& state = clients_[request.client];
   if (already_executed(state, request.id)) {
-    {
-      MutexLock lock(stats_mutex_);
-      ++stats_.duplicates_suppressed;
-    }
-    // Retransmission of an executed request: resend the cached reply.
-    for (const auto& [id, result] : state.replies) {
-      if (id == request.id) {
-        send_reply(request.client, request.id, view, result);
-        break;
-      }
+    n_duplicates_suppressed_.add();
+    // Retransmission of an executed request: resend the cached reply (the
+    // raw ordered result; post_process ran when it was first sent, and a
+    // retransmission skips it — null `requests` signals that downstream).
+    auto cached = state.replies.find(request.id);
+    if (cached != state.replies.end()) {
+      ReplyTask task;
+      task.client = request.client;
+      task.request = request.id;
+      task.view = batch.view;
+      task.seq = cached->second.seq;
+      task.pillar = static_cast<std::uint32_t>(cached->second.seq %
+                                               config_.num_pillars);
+      task.result = cached->second.result;  // the cache keeps its entry
+      emit_reply(std::move(task));
     }
     return;
   }
@@ -228,46 +322,69 @@ void ExecutionStage::execute_request(const protocol::Request& request,
   Bytes result = service_.execute(request);
   m_requests_executed_.add();
   record_executed(state, request.id);
-  const bool omit = config_.reply_mode == ReplyMode::kOmitOne &&
-                    config_.omitted_replier(request.key()) == self_;
-  {
-    // One critical section: an observer that sees the request counted
-    // must also see its omission counted (tests sum both).
-    MutexLock lock(stats_mutex_);
-    ++stats_.requests_executed;
-    if (omit) ++stats_.replies_omitted;
+
+  // The cache stores the *raw* ordered result for every request: it is
+  // replicated state (part of the checkpoint digest), so it must not
+  // depend on this replica's omit role or on post_process decoration.
+  if (state.replies.emplace(request.id, CachedReply{batch.seq, result})
+          .second) {
+    state.reply_order.push_back(request.id);
+    if (state.reply_order.size() > kReplyCachePerClient) {
+      state.replies.erase(state.reply_order.front());
+      state.reply_order.pop_front();
+    }
   }
 
-  state.replies.emplace_back(request.id, result);
-  if (state.replies.size() > kReplyCachePerClient) state.replies.pop_front();
-
+  const bool omit = config_.reply_mode == ReplyMode::kOmitOne &&
+                    config_.omitted_replier(request.key()) == self_;
+  // The omission is counted before requests_executed's release store, so
+  // an observer that sees the request counted also sees the omission.
+  if (omit) n_replies_omitted_.add();
+  n_requests_executed_.add();
   if (omit) return;
-  send_reply(request.client, request.id, view,
-             service_.post_process(request, std::move(result)));
+
+  ReplyTask task;
+  task.client = request.client;
+  task.request = request.id;
+  task.view = batch.view;
+  task.pillar = batch.pillar;
+  task.seq = batch.seq;
+  task.result = std::move(result);
+  task.requests = batch.requests;
+  task.index = index;
+  emit_reply(std::move(task));
 }
 
-void ExecutionStage::send_reply(protocol::ClientId client,
-                                protocol::RequestId id, protocol::ViewId view,
-                                Bytes result) {
-  protocol::Message msg =
-      protocol::Reply{view, client, id, self_, std::move(result), {}};
-  Bytes frame = seal_message(msg, crypto_, protocol::replica_node(self_),
-                             {protocol::client_node(client)});
+void ExecutionStage::emit_reply(ReplyTask task) {
+  // Counted at emission — offloaded or inline — so exec.replies_sent
+  // covers every reply exactly once wherever it is sealed.
   m_replies_sent_.add();
-  trace::point(trace::Point::kReplyEgress, self_, /*pillar=*/0, /*seq=*/0,
-               view, client, id);
-  transport_.send(protocol::client_node(client), /*lane=*/0,
+  n_replies_sent_.add();
+  // Offloaded post-execution (paper §4.3.2): the originating pillar runs
+  // post_process, seals and sends, in parallel with this stage.
+  if (reply_fn_ && reply_fn_(task)) {
+    n_replies_offloaded_.add();
+    return;
+  }
+  // Inline fallback: single-logic baselines (no ReplyFn installed) and the
+  // overload/shutdown path (the pillar's queue is full or closed).
+  Bytes result = task.requests
+                     ? service_.post_process((*task.requests)[task.index],
+                                             std::move(task.result))
+                     : std::move(task.result);
+  protocol::Message msg = protocol::Reply{
+      task.view, task.client, task.request, self_, std::move(result), {}};
+  Bytes frame = seal_message(msg, crypto_, protocol::replica_node(self_),
+                             {protocol::client_node(task.client)});
+  trace::point(trace::Point::kReplyEgress, self_, task.pillar, task.seq,
+               task.view, task.client, task.request);
+  transport_.send(protocol::client_node(task.client), /*lane=*/0,
                   std::move(frame));
-  MutexLock lock(stats_mutex_);
-  ++stats_.replies_sent;
 }
 
 void ExecutionStage::maybe_checkpoint(protocol::SeqNum seq) {
   if (seq % config_.protocol.checkpoint_interval != 0) return;
-  {
-    MutexLock lock(stats_mutex_);
-    ++stats_.checkpoints_triggered;
-  }
+  n_checkpoints_triggered_.add();
   // The agreed checkpoint digest covers the service state *and* the
   // exactly-once client bookkeeping: both are part of what a transferred
   // replica must resume with (see checkpoint_artifact.hpp).
@@ -298,11 +415,8 @@ void ExecutionStage::check_gap(std::uint64_t now) {
   }
   if (now - stall_since_us_ < config_.gap_timeout_us) return;
   stall_since_us_ = now;
-  {
-    MutexLock lock(stats_mutex_);
-    ++stats_.gap_fills_requested;
-  }
-  protocol::SeqNum target = reorder_.rbegin()->first;
+  n_gap_fills_requested_.add();
+  protocol::SeqNum target = reorder_.highest();
   const protocol::SeqNum frontier = next_seq_.load(std::memory_order_relaxed);
   for (std::uint32_t p = 0; p < config_.num_pillars; ++p)
     command_(p, FillGap{target, frontier});
@@ -329,10 +443,13 @@ Bytes ExecutionStage::encode_client_table() const {
     std::sort(done.begin(), done.end());
     w.u32(static_cast<std::uint32_t>(done.size()));
     for (protocol::RequestId rid : done) w.u64(rid);
-    w.u32(static_cast<std::uint32_t>(state.replies.size()));
-    for (const auto& [rid, reply] : state.replies) {
+    // Replies in eviction order so a restored replica evicts identically.
+    w.u32(static_cast<std::uint32_t>(state.reply_order.size()));
+    for (protocol::RequestId rid : state.reply_order) {
+      const CachedReply& cached = state.replies.at(rid);
       w.u64(rid);
-      w.bytes(reply);
+      w.u64(cached.seq);
+      w.bytes(cached.result);
     }
   }
   return out;
@@ -355,10 +472,15 @@ bool ExecutionStage::decode_client_table(
     state.done.reserve(n_done);
     for (std::uint32_t d = 0; d < n_done; ++d) state.done.insert(r.u64());
     std::uint32_t n_replies = r.u32();
-    if (!r.ok() || r.remaining() / 12 < n_replies) return false;
+    // Each cached reply occupies >= 20 bytes (id + seq + length prefix).
+    if (!r.ok() || r.remaining() / 20 < n_replies) return false;
     for (std::uint32_t q = 0; q < n_replies && r.ok(); ++q) {
       protocol::RequestId rid = r.u64();
-      state.replies.emplace_back(rid, r.bytes());
+      CachedReply cached;
+      cached.seq = r.u64();
+      cached.result = r.bytes();
+      if (state.replies.emplace(rid, std::move(cached)).second)
+        state.reply_order.push_back(rid);
     }
     if (!r.ok()) return false;
     if (!out.emplace(id, std::move(state)).second) return false;
@@ -368,10 +490,7 @@ bool ExecutionStage::decode_client_table(
 
 void ExecutionStage::handle_install(InstallState install) {
   const auto reject = [&] {
-    {
-      MutexLock lock(stats_mutex_);
-      ++stats_.installs_rejected;
-    }
+    n_installs_rejected_.add();
     if (install.done) install.done(false);
   };
 
@@ -413,18 +532,16 @@ void ExecutionStage::handle_install(InstallState install) {
     return reject();
 
   clients_ = std::move(clients);
-  reorder_.erase(reorder_.begin(), reorder_.upper_bound(install.seq));
+  reorder_.erase_upto(install.seq);
+  m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
   next_seq_.store(install.seq + 1, std::memory_order_relaxed);
   installed_floor_ = install.seq;
   stall_since_us_ = 0;
-  {
-    MutexLock lock(stats_mutex_);
-    ++stats_.state_installs;
-    stats_.installed_seq = install.seq;
-    // The state now reflects everything through install.seq.
-    if (stats_.last_executed_seq < install.seq)
-      stats_.last_executed_seq = install.seq;
-  }
+  n_state_installs_.add();
+  n_installed_seq_.set(install.seq);
+  // The state now reflects everything through install.seq.
+  if (n_last_executed_seq_.get() < install.seq)
+    n_last_executed_seq_.set(install.seq);
   if (install.done) install.done(true);
 }
 

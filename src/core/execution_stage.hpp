@@ -1,25 +1,33 @@
 // Execution stage: turns the out-of-order stream of committed instances
-// into the total order, executes the service, and replies to clients
-// (paper §4.1/§4.2).
+// into the total order, executes the service, and hands replies back to
+// the pillars (paper §4.1/§4.2/§4.3.2).
 //
 // One single-threaded stage per replica, shared by all pillars (COP) or
 // fed by the single logic thread (TOP/SMaRt). Responsibilities:
-//   * reorder buffer keyed by sequence number; execute strictly in order,
-//   * exactly-once execution per (client, request id) with a bounded
-//     reply cache for retransmissions,
+//   * reorder ring keyed by sequence number; execute strictly in order,
+//   * exactly-once execution per (client, request id) with a bounded,
+//     indexed reply cache for O(1) retransmission handling,
+//   * offloaded post-execution: emit a ReplyTask to the originating
+//     pillar, which runs post_process + MAC sealing + egress in parallel
+//     across the NP pillar threads (inline fallback when no ReplyFn is
+//     installed — the TOP/SMaRt baselines — or the pillar is saturated),
 //   * checkpoint triggering every `checkpoint_interval` sequence numbers,
 //     addressed round-robin to the owning pillar (paper §4.2.2),
 //   * gap detection: if the next needed sequence number does not commit
 //     within gap_timeout, ask the pillars to fill their slices with no-op
 //     instances (paper §4.2.1).
+//
+// The hot path is lock-free on the stage side: counters are relaxed
+// single-writer atomics snapshotted by stats(), not mutex-guarded.
 #pragma once
 
 #include <atomic>
 #include <deque>
 #include <functional>
-#include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "app/service.hpp"
 #include "common/metrics.hpp"
@@ -36,9 +44,14 @@ struct ExecutionStats {
   std::uint64_t noops_executed = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t replies_sent = 0;
+  /// Of replies_sent: how many were handed to a pillar (vs. sealed inline).
+  std::uint64_t replies_offloaded = 0;
   std::uint64_t replies_omitted = 0;
   std::uint64_t checkpoints_triggered = 0;
   std::uint64_t gap_fills_requested = 0;
+  /// Redundant commits dropped because their ring slot was still occupied
+  /// by an older, not-yet-executed sequence number (re-fetched on demand).
+  std::uint64_t reorder_slot_drops = 0;
   /// Checkpoints installed via state transfer / rejected (bad artifact).
   std::uint64_t state_installs = 0;
   std::uint64_t installs_rejected = 0;
@@ -48,15 +61,41 @@ struct ExecutionStats {
   protocol::SeqNum installed_seq = 0;
 };
 
+/// Single-writer cell: only the stage thread writes, any thread reads.
+/// The store(load+delta) pattern avoids the lock-prefixed RMW a fetch_add
+/// would emit — this is the de-locked replacement for the old per-request
+/// stats mutex. Release/acquire pairing keeps multi-counter snapshots
+/// coherent for pollers (e.g. a test that waits on requests_executed and
+/// then reads replies_omitted).
+class StageCounter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_release);
+  }
+  void set(std::uint64_t value) {
+    value_.store(value, std::memory_order_release);
+  }
+  std::uint64_t get() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
 class ExecutionStage {
  public:
   /// `command` routes a PillarCommand to logic unit `pillar` of this
-  /// replica; `send_reply` delivers a sealed frame to a client node.
+  /// replica.
   using CommandFn = std::function<void(std::uint32_t pillar, PillarCommand)>;
   /// Receives (seq, composite digest, encoded CheckpointArtifact) on every
   /// checkpoint boundary; the host stores it for serving state transfers.
   using SnapshotFn =
       std::function<void(protocol::SeqNum, const crypto::Digest&, Bytes)>;
+  /// Offloaded post-execution hook (paper §4.3.2): hand a finished request
+  /// to the originating pillar for post_process + sealing + egress.
+  /// Returns false *leaving the task intact* when the pillar cannot take
+  /// it (queue full, shutting down); the stage then seals inline.
+  using ReplyFn = std::function<bool(ReplyTask&)>;
 
   ExecutionStage(ReplicaId self, const ReplicaRuntimeConfig& config,
                  app::Service& service, const crypto::CryptoProvider& crypto,
@@ -67,6 +106,9 @@ class ExecutionStage {
 
   /// Install before start(); snapshots are only materialized when set.
   void set_snapshot_fn(SnapshotFn fn) { snapshot_fn_ = std::move(fn); }
+  /// Install before start(); unset (TOP/SMaRt baselines, bare-stage
+  /// tests) means replies are post-processed, sealed and sent inline.
+  void set_reply_fn(ReplyFn fn) { reply_fn_ = std::move(fn); }
 
   /// Called by any pillar thread when an instance commits.
   bool submit(CommittedBatch batch) { return queue_.push(std::move(batch)); }
@@ -78,28 +120,66 @@ class ExecutionStage {
   }
 
   /// Snapshot of the counters; safe to call from any thread while running.
-  ExecutionStats stats() const {
-    MutexLock lock(stats_mutex_);
-    return stats_;
-  }
+  ExecutionStats stats() const;
   protocol::SeqNum next_seq() const {
     return next_seq_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct CachedReply {
+    protocol::SeqNum seq = 0;  ///< instance the request executed in
+    Bytes result;              ///< raw ordered result (pre-post_process)
+  };
   struct ClientState {
     protocol::RequestId max_done = 0;
     /// Executed ids above the pruning floor (async windows commit out of
     /// order within a client).
     std::unordered_set<protocol::RequestId> done;
-    /// Recent replies for retransmission handling, newest last.
-    std::deque<std::pair<protocol::RequestId, Bytes>> replies;
+    /// Recent replies for retransmission handling: eviction order (oldest
+    /// first) plus an id -> reply index for O(1) lookup.
+    std::deque<protocol::RequestId> reply_order;
+    std::unordered_map<protocol::RequestId, CachedReply> replies;
+  };
+
+  /// Window-bounded reorder buffer indexed by seq % capacity. The drift
+  /// invariant keeps live sequence numbers within `window` of the
+  /// execution frontier, so a ring of ~2x window slots replaces the old
+  /// std::map (no rebalancing, no per-node allocation on the hot path).
+  /// Slot collisions (only possible after the bound was violated or with
+  /// a clamped ring) are resolved in admit(); the ring itself just
+  /// exposes exact-seq find/erase.
+  class ReorderRing {
+   public:
+    explicit ReorderRing(std::uint64_t window);
+
+    /// The batch stored for exactly `seq`, or nullptr.
+    CommittedBatch* find(protocol::SeqNum seq);
+    /// Whatever currently occupies seq's slot (any seq), or nullptr.
+    CommittedBatch* occupant(protocol::SeqNum seq);
+    /// Stores `batch`; its slot must be free.
+    void insert(CommittedBatch batch);
+    /// Drops the batch stored for exactly `seq`, if any.
+    void erase(protocol::SeqNum seq);
+    /// Drops every buffered batch with seq <= `upto` (checkpoint install).
+    void erase_upto(protocol::SeqNum upto);
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    /// Highest buffered seq (scan; call off the hot path). 0 when empty.
+    protocol::SeqNum highest() const;
+
+   private:
+    std::size_t slot(protocol::SeqNum seq) const {
+      return static_cast<std::size_t>(seq) & mask_;
+    }
+    std::vector<std::optional<CommittedBatch>> slots_;
+    std::size_t mask_ = 0;
+    std::size_t count_ = 0;
   };
 
   using Input = std::variant<CommittedBatch, InstallState>;
 
   void run();
-  /// Invariant-checks an incoming batch and files it in the reorder buffer.
+  /// Invariant-checks an incoming batch and files it in the reorder ring.
   void admit(CommittedBatch batch);
   void admit_input(Input input);
   /// Verifies and installs a transferred checkpoint (state transfer).
@@ -111,9 +191,11 @@ class ExecutionStage {
   void apply_ready();
   void execute_batch(const CommittedBatch& batch);
   void execute_request(const protocol::Request& request,
-                       protocol::ViewId view);
-  void send_reply(protocol::ClientId client, protocol::RequestId id,
-                  protocol::ViewId view, Bytes result);
+                       const CommittedBatch& batch, std::uint32_t index);
+  /// Offloads the reply to its originating pillar, or — when no ReplyFn is
+  /// installed or the pillar rejected it — post-processes, seals and sends
+  /// inline.
+  void emit_reply(ReplyTask task);
   void maybe_checkpoint(protocol::SeqNum seq);
   void check_gap(std::uint64_t now);
   bool already_executed(ClientState& state, protocol::RequestId id) const;
@@ -126,11 +208,12 @@ class ExecutionStage {
   transport::Transport& transport_;
   CommandFn command_;
   SnapshotFn snapshot_fn_;
+  ReplyFn reply_fn_;
 
   BoundedQueue<Input> queue_;
   // reorder_, clients_, installed_floor_ and stall_since_us_ are owned by
   // the stage thread; the cross-thread hand-off is the queue itself.
-  std::map<protocol::SeqNum, CommittedBatch> reorder_;
+  ReorderRing reorder_;
   std::atomic<protocol::SeqNum> next_seq_{1};
   std::unordered_map<protocol::ClientId, ClientState> clients_;
   /// Highest checkpoint installed via state transfer; execution and later
@@ -146,8 +229,22 @@ class ExecutionStage {
   metrics::Counter& m_replies_sent_;
   metrics::HistogramMetric& m_execute_us_;
 
-  mutable Mutex stats_mutex_;
-  ExecutionStats stats_ COP_GUARDED_BY(stats_mutex_);
+  // Counters: written only by the stage thread, snapshotted by stats().
+  StageCounter n_batches_executed_;
+  StageCounter n_requests_executed_;
+  StageCounter n_noops_executed_;
+  StageCounter n_duplicates_suppressed_;
+  StageCounter n_replies_sent_;
+  StageCounter n_replies_offloaded_;
+  StageCounter n_replies_omitted_;
+  StageCounter n_checkpoints_triggered_;
+  StageCounter n_gap_fills_requested_;
+  StageCounter n_reorder_slot_drops_;
+  StageCounter n_state_installs_;
+  StageCounter n_installs_rejected_;
+  StageCounter n_last_executed_seq_;
+  StageCounter n_installed_seq_;
+
   std::jthread thread_;
 };
 

@@ -4,6 +4,7 @@
 #include "common/logging.hpp"
 #include "common/time.hpp"
 #include "common/trace.hpp"
+#include "core/outbound.hpp"
 
 namespace copbft::core {
 namespace {
@@ -29,6 +30,7 @@ Pillar::Pillar(ReplicaId self, std::uint32_t index,
     : self_(self),
       index_(index),
       config_(config),
+      crypto_(crypto),
       transport_(transport),
       exec_(exec),
       outbound_(outbound),
@@ -43,6 +45,8 @@ Pillar::Pillar(ReplicaId self, std::uint32_t index,
           metric_prefix(self, index) + "requests_in")),
       m_instances_delivered_(metrics::MetricsRegistry::global().counter(
           metric_prefix(self, index) + "instances_delivered")),
+      m_replies_out_(metrics::MetricsRegistry::global().counter(
+          metric_prefix(self, index) + "replies_out")),
       m_stable_seq_(metrics::MetricsRegistry::global().gauge(
           metric_prefix(self, index) + "stable_seq")) {
   queue_.instrument(metrics::MetricsRegistry::global().gauge(
@@ -78,6 +82,8 @@ void Pillar::run() {
         handle_frame(*frame);
       } else if (auto* prepared = std::get_if<PreparedInput>(&*event)) {
         handle_prepared(*prepared);
+      } else if (auto* reply = std::get_if<ReplyTask>(&*event)) {
+        process_reply(std::move(*reply));
       } else {
         handle_command(std::get<PillarCommand>(*event));
       }
@@ -119,6 +125,27 @@ void Pillar::handle_prepared(PreparedInput& input) {
     return;
   }
   core_.on_message(std::move(input.im), now_us());
+}
+
+void Pillar::process_reply(ReplyTask task) {
+  // Offloaded post-execution (paper §4.3.2): the non-sequential tail of a
+  // request — post_process, Reply construction, MAC sealing, egress —
+  // runs here, in parallel across the NP pillar threads, instead of
+  // serializing inside the execution stage. Cached retransmissions carry
+  // no batch and skip post_process (it ran on first send).
+  Bytes result = (service_ && task.requests)
+                     ? service_->post_process((*task.requests)[task.index],
+                                              std::move(task.result))
+                     : std::move(task.result);
+  protocol::Message msg = protocol::Reply{
+      task.view, task.client, task.request, self_, std::move(result), {}};
+  Bytes frame = seal_message(msg, crypto_, protocol::replica_node(self_),
+                             {protocol::client_node(task.client)});
+  m_replies_out_.add();
+  trace::point(trace::Point::kReplyEgress, self_, task.pillar, task.seq,
+               task.view, task.client, task.request);
+  transport_.send(protocol::client_node(task.client), /*lane=*/0,
+                  std::move(frame));
 }
 
 void Pillar::feed_request(protocol::Request req, bool verified) {

@@ -54,6 +54,19 @@ class Pillar final : public transport::FrameSink {
   /// Prepared messages from upstream pipeline stages.
   bool post(PillarEvent event) { return queue_.push(std::move(event)); }
 
+  /// Offloaded post-execution (paper §4.3.2): the execution stage hands a
+  /// finished request back to this (originating) pillar, which runs
+  /// post_process + MAC sealing + egress on its own thread. Non-blocking —
+  /// the execution stage must never wait on a pillar (the pillar may
+  /// itself be blocked submitting to the execution stage). On failure the
+  /// task is left intact so the caller can seal inline.
+  bool try_post_reply(ReplyTask& task) {
+    PillarEvent event{std::move(task)};
+    if (queue_.try_push_ref(event)) return true;
+    task = std::move(std::get<ReplyTask>(event));
+    return false;
+  }
+
   /// Commands from the execution stage / sibling pillars. Uses a separate
   /// queue with ample headroom so the execution stage never blocks on a
   /// pillar whose main queue is full (which could deadlock: the pillar may
@@ -80,12 +93,14 @@ class Pillar final : public transport::FrameSink {
   void handle_frame(transport::ReceivedFrame& frame);
   void handle_prepared(PreparedInput& input);
   void handle_command(const PillarCommand& command);
+  void process_reply(ReplyTask task);
   void feed_request(protocol::Request req, bool verified);
   void drain_effects();
 
   const ReplicaId self_;
   const std::uint32_t index_;
   const ReplicaRuntimeConfig& config_;
+  const crypto::CryptoProvider& crypto_;
   transport::Transport& transport_;
   ExecutionStage& exec_;
   OutboundSink& outbound_;
@@ -102,6 +117,7 @@ class Pillar final : public transport::FrameSink {
   metrics::Counter& m_frames_in_;
   metrics::Counter& m_requests_in_;
   metrics::Counter& m_instances_delivered_;
+  metrics::Counter& m_replies_out_;
   metrics::Gauge& m_stable_seq_;
 
   mutable Mutex stats_mutex_;

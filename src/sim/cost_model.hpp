@@ -56,8 +56,17 @@ struct CostModel {
   double legacy_client_ns = 22'000.0;
 
   // ---- execution stage ----
-  double exec_base_ns = 260.0;          ///< per ordered request, null service
-  double exec_order_ns = 150.0;         ///< reorder-buffer bookkeeping per instance
+  // The stage drains its submission queue in bursts: one dequeue_ns
+  // wakeup per burst, then per buffered commit only the de-locked
+  // admission cost below (the runtime's ReorderRing + single-writer
+  // atomic counters; see docs/performance.md for the before/after
+  // microbenchmark anchoring).
+  double exec_base_ns = 180.0;   ///< per ordered request, null service
+  double exec_drain_ns = 260.0;  ///< pop + ring admission per queued commit
+  double exec_order_ns = 60.0;   ///< ring find/erase per executed instance
+  /// Building + routing one ReplyTask to its originating pillar — the
+  /// only per-reply work left in the stage after the §4.3.2 offload.
+  double reply_task_ns = 90.0;
   double reply_build_ns = 280.0;
 
   // ---- application ----

@@ -123,6 +123,12 @@ struct LogicUnit {
 // ---------------------------------------------------------------------------
 // Execution stage
 
+struct PendingReply {
+  ClientId client = 0;
+  RequestId rid = 0;
+  std::size_t payload = 0;
+};
+
 struct ExecSim {
   World& world;
   ReplicaSim& replica;
@@ -130,6 +136,12 @@ struct ExecSim {
 
   SeqNum next_seq = 1;
   std::map<SeqNum, Deliver> reorder;
+  /// Committed instances handed over by the logic units, drained in
+  /// bursts: at most one drain task is pending, paying the queue wakeup
+  /// once per burst instead of once per commit (mirrors the threaded
+  /// runtime's try_pop drain loop + de-locked hot path).
+  std::deque<Deliver> inbox;
+  bool drain_scheduled = false;
   std::size_t reorder_peak = 0;
   std::uint64_t executed_requests = 0;
   std::uint64_t executed_instances = 0;
@@ -138,19 +150,15 @@ struct ExecSim {
   ExecSim(World& w, ReplicaSim& r, SimThread& t)
       : world(w), replica(r), thread(t) {}
 
-  double on_commit(const Deliver& d);
-  double apply_ready();
+  void enqueue(Deliver d);
+  double drain();
+  double apply_ready(std::map<std::uint32_t, std::vector<PendingReply>>& out);
+  double flush_replies(std::map<std::uint32_t, std::vector<PendingReply>>& out);
   double gap_check();
 };
 
 // ---------------------------------------------------------------------------
 // Replica: architecture-specific thread wiring
-
-struct PendingReply {
-  ClientId client = 0;
-  RequestId rid = 0;
-  std::size_t payload = 0;
-};
 
 struct ReplicaSim {
   World& world;
@@ -417,10 +425,7 @@ double LogicUnit::drain_effects() {
       cost += replica.send_protocol(std::move(st->msg), index, {st->to});
     } else if (auto* del = std::get_if<Deliver>(&effect)) {
       cost += costs.handoff_ns;
-      ExecSim* exec = replica.exec.get();
-      exec->thread.post([exec, d = std::move(*del)]() -> double {
-        return exec->world.costs.dequeue_ns + exec->on_commit(d);
-      });
+      replica.exec->enqueue(std::move(*del));
     } else if (auto* cs = std::get_if<CheckpointStable>(&effect)) {
       SeqNum seq = cs->seq;
       for (auto& sibling : replica.logic) {
@@ -638,25 +643,46 @@ void ReplicaSim::complete_state_transfer(SeqNum observed) {
 // ---------------------------------------------------------------------------
 // ExecSim implementation
 
-double ExecSim::on_commit(const Deliver& d) {
-  if (d.seq >= next_seq && !reorder.contains(d.seq)) reorder.emplace(d.seq, d);
-  reorder_peak = std::max(reorder_peak, reorder.size());
-  return world.costs.exec_order_ns + apply_ready();
+void ExecSim::enqueue(Deliver d) {
+  inbox.push_back(std::move(d));
+  if (drain_scheduled) return;
+  drain_scheduled = true;
+  ExecSim* self = this;
+  thread.post([self]() -> double { return self->drain(); });
 }
 
-double ExecSim::apply_ready() {
+double ExecSim::drain() {
+  const CostModel& costs = world.costs;
+  drain_scheduled = false;
+  // One queue wakeup per burst; each buffered commit then pays only the
+  // de-locked admission cost (the runtime's ReorderRing + single-writer
+  // atomic counters instead of a std::map and a stats mutex).
+  double cost = costs.dequeue_ns;
+  std::map<std::uint32_t, std::vector<PendingReply>> replies;
+  while (!inbox.empty()) {
+    Deliver d = std::move(inbox.front());
+    inbox.pop_front();
+    cost += costs.exec_drain_ns;
+    if (d.seq >= next_seq && !reorder.contains(d.seq))
+      reorder.emplace(d.seq, std::move(d));
+    reorder_peak = std::max(reorder_peak, reorder.size());
+    cost += apply_ready(replies);
+  }
+  return cost + flush_replies(replies);
+}
+
+double ExecSim::apply_ready(
+    std::map<std::uint32_t, std::vector<PendingReply>>& replies) {
   const SimConfig& cfg = world.cfg;
   const CostModel& costs = world.costs;
   double cost = 0;
-  // Replies are grouped per logic unit: the pillar holding the client's
-  // connection sends the reply (§4.3.1); TOP/SMaRt use a reply stage.
-  std::map<std::uint32_t, std::vector<PendingReply>> replies;
 
   while (true) {
     auto it = reorder.find(next_seq);
     if (it == reorder.end()) break;
     const Deliver& d = it->second;
     ++executed_instances;
+    cost += costs.exec_order_ns;
     if (d.requests) {
       for (const Request& req : *d.requests) {
         ++executed_requests;
@@ -666,9 +692,15 @@ double ExecSim::apply_ready() {
         bool omit = cfg.reply_mode == core::ReplyMode::kOmitOne &&
                     req.key() % cfg.protocol.num_replicas == replica.id;
         if (!omit) {
-          std::uint32_t unit = (cfg.arch == SimArch::kCop)
-                                   ? replica.client_lane(req.client)
-                                   : 0;
+          // Offloaded post-execution (§4.3.2): the reply goes back to the
+          // *originating* pillar — the one that ran instance seq — so
+          // post-processing and sealing parallelize across pillars. The
+          // stage itself only pays for building/routing the ReplyTask.
+          std::uint32_t unit =
+              (cfg.arch == SimArch::kCop)
+                  ? static_cast<std::uint32_t>(d.seq % replica.logic.size())
+                  : 0;
+          cost += costs.reply_task_ns;
           replies[unit].push_back(
               {req.client, req.id,
                world.fleet->reply_bytes_for_flags(req.flags)});
@@ -689,10 +721,18 @@ double ExecSim::apply_ready() {
     }
   }
 
+  return cost;
+}
+
+double ExecSim::flush_replies(
+    std::map<std::uint32_t, std::vector<PendingReply>>& replies) {
+  const SimConfig& cfg = world.cfg;
+  const CostModel& costs = world.costs;
+  double cost = 0;
   ReplicaSim* rep = &replica;
   if (cfg.arch == SimArch::kCop) {
-    // The pillar owning the client connection sends the replies; one
-    // hand-off per executed batch, not per request (§4.3.1).
+    // The originating pillar seals and sends the replies; one hand-off
+    // per pillar per drained burst, not per request (§4.3.2).
     for (auto& [unit_index, batch] : replies) {
       cost += costs.handoff_ns;
       std::uint32_t lane = unit_index;

@@ -370,6 +370,40 @@ TEST(ReplyModes, OmitOneStillReachesQuorum) {
   }
 }
 
+// ---- offloaded reply pipeline (paper §4.3.2) ----------------------------
+
+TEST(CopCluster, ReplyOffloadAcrossPillarCounts) {
+  for (std::uint32_t pillars : {1u, 2u, 4u}) {
+    SCOPED_TRACE("pillars=" + std::to_string(pillars));
+    ClusterOptions options;
+    options.arch = Arch::kCop;
+    options.num_pillars = pillars;
+    Cluster cluster(std::move(options));
+    cluster.start();
+
+    auto& client = cluster.add_client();
+    for (int i = 0; i < 30; ++i)
+      ASSERT_TRUE(
+          client.invoke(to_bytes("off-" + std::to_string(i))).has_value())
+          << i;
+
+    ASSERT_TRUE(wait_for_all_replicas(cluster, [](const auto& stats) {
+      return stats.exec.requests_executed >= 30 ||
+             stats.exec.state_installs > 0;
+    })) << "a replica neither executed everything nor transferred state";
+
+    // Every reply left through a pillar (the §4.3.2 offload); the inline
+    // fallback stays an overload/shutdown escape hatch, unused here.
+    for (protocol::ReplicaId r = 0; r < 4; ++r) {
+      const auto stats = cluster.replica(r).stats().exec;
+      if (stats.state_installs > 0) continue;  // transferred the prefix
+      EXPECT_GT(stats.replies_offloaded, 0u) << "replica " << r;
+      EXPECT_EQ(stats.replies_offloaded, stats.replies_sent)
+          << "replica " << r;
+    }
+  }
+}
+
 // ---- verification policies ---------------------------------------------------
 
 TEST(VerificationPolicies, SmartVerifiesOutOfOrderCopInOrder) {

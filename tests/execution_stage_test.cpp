@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <functional>
 
 #include "app/null_service.hpp"
 #include "core/execution_stage.hpp"
@@ -32,9 +33,32 @@ struct CommandLog {
   }
 };
 
+/// Captures offloaded ReplyTasks the way CopReplica's pillars would.
+struct ReplyLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<ReplyTask> tasks;
+  bool reject = false;
+
+  bool on_task(ReplyTask& task) {
+    std::lock_guard lock(mutex);
+    if (reject) return false;
+    tasks.push_back(std::move(task));
+    cv.notify_all();
+    return true;
+  }
+
+  bool wait_for(std::size_t count, int ms = 2000) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, std::chrono::milliseconds(ms),
+                       [&] { return tasks.size() >= count; });
+  }
+};
+
 class ExecutionStageTest : public ::testing::Test {
  protected:
-  void start(ReplyMode mode = ReplyMode::kAll, std::uint32_t pillars = 2) {
+  void start(ReplyMode mode = ReplyMode::kAll, std::uint32_t pillars = 2,
+             bool offload = false) {
     config_.num_pillars = pillars;
     config_.protocol.num_pillars = pillars;
     config_.protocol.checkpoint_interval = 10;
@@ -48,6 +72,9 @@ class ExecutionStageTest : public ::testing::Test {
         [this](std::uint32_t pillar, PillarCommand cmd) {
           log_.record(pillar, std::move(cmd));
         });
+    if (offload)
+      stage_->set_reply_fn(
+          [this](ReplyTask& task) { return replies_.on_task(task); });
     stage_->start();
   }
 
@@ -65,7 +92,20 @@ class ExecutionStageTest : public ::testing::Test {
       req.payload = to_bytes("x");
       requests->push_back(std::move(req));
     }
-    return CommittedBatch{seq, 0, requests, seq % config_.num_pillars};
+    // Stability basis as a real pillar would stamp it: the commit is
+    // always inside the window authorized by its checkpoint.
+    const SeqNum basis =
+        seq > config_.protocol.window ? seq - config_.protocol.window : 0;
+    return CommittedBatch{seq, 0, requests, seq % config_.num_pillars, basis};
+  }
+
+  bool wait_stats(const std::function<bool(const ExecutionStats&)>& pred,
+                  int ms = 2000) {
+    for (int spin = 0; spin < ms / 10; ++spin) {
+      if (pred(stage_->stats())) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred(stage_->stats());
   }
 
   bool wait_replies(std::size_t count, int ms = 2000) {
@@ -81,6 +121,7 @@ class ExecutionStageTest : public ::testing::Test {
   std::unique_ptr<app::NullService> service_;
   FakeTransport transport_;
   CommandLog log_;
+  ReplyLog replies_;
   std::unique_ptr<ExecutionStage> stage_;
 };
 
@@ -221,6 +262,136 @@ TEST_F(ExecutionStageTest, OmitOneSkipsDeterministicReplica) {
   ASSERT_EQ(sent.size(), 1u);
   EXPECT_EQ(std::get<Reply>(decode_message(sent[0].frame)->msg).id,
             replied_id);
+}
+
+// ---- offloaded post-execution (paper §4.3.2) ----------------------------
+
+TEST_F(ExecutionStageTest, RepliesOffloadToOriginatingPillar) {
+  start(ReplyMode::kAll, /*pillars=*/2, /*offload=*/true);
+  stage_->submit(batch(1, {11}));
+  stage_->submit(batch(2, {12}));
+  stage_->submit(batch(3, {13}));
+  ASSERT_TRUE(replies_.wait_for(3));
+  stage_->stop();
+
+  std::lock_guard lock(replies_.mutex);
+  ASSERT_EQ(replies_.tasks.size(), 3u);
+  for (std::size_t i = 0; i < replies_.tasks.size(); ++i) {
+    const ReplyTask& task = replies_.tasks[i];
+    EXPECT_EQ(task.seq, i + 1) << "tasks emitted in execution order";
+    EXPECT_EQ(task.pillar, task.seq % 2)
+        << "reply must route to the pillar that ran the instance";
+    ASSERT_TRUE(task.requests) << "fresh reply carries its batch";
+    EXPECT_EQ((*task.requests)[task.index].id, task.request);
+  }
+  ExecutionStats stats = stage_->stats();
+  EXPECT_EQ(stats.replies_sent, 3u);
+  EXPECT_EQ(stats.replies_offloaded, 3u);
+  EXPECT_EQ(transport_.sent_count(), 0u) << "nothing sealed inline";
+}
+
+TEST_F(ExecutionStageTest, OffloadedReplyCarriesCommitView) {
+  start(ReplyMode::kAll, /*pillars=*/2, /*offload=*/true);
+  // A commit delivered after a view change must stamp the new view into
+  // the reply (clients match replies against the view they learn).
+  CommittedBatch post_view_change = batch(1, {5});
+  post_view_change.view = 3;
+  stage_->submit(std::move(post_view_change));
+  ASSERT_TRUE(replies_.wait_for(1));
+
+  std::lock_guard lock(replies_.mutex);
+  ASSERT_EQ(replies_.tasks.size(), 1u);
+  EXPECT_EQ(replies_.tasks[0].view, 3u);
+}
+
+TEST_F(ExecutionStageTest, ReplyCacheEvictsOldestAndServesIndexedHits) {
+  start(ReplyMode::kAll, /*pillars=*/2, /*offload=*/true);
+  // Fill one client's reply cache past its 32-entry bound: ids 1..40, so
+  // the 8 oldest (1..8) are evicted.
+  for (SeqNum s = 1; s <= 40; ++s)
+    stage_->submit(batch(s, {static_cast<RequestId>(s)}));
+  ASSERT_TRUE(replies_.wait_for(40));
+  // A retransmission of a still-cached id is answered from the index; a
+  // retransmission of an evicted id is suppressed without a reply.
+  stage_->submit(batch(41, {40}));
+  stage_->submit(batch(42, {2}));
+  ASSERT_TRUE(replies_.wait_for(41));
+  ASSERT_TRUE(wait_stats(
+      [](const ExecutionStats& s) { return s.duplicates_suppressed >= 2; }));
+  stage_->stop();
+
+  ExecutionStats stats = stage_->stats();
+  EXPECT_EQ(stats.requests_executed, 40u) << "retransmissions not re-run";
+  EXPECT_EQ(stats.duplicates_suppressed, 2u);
+  EXPECT_EQ(stats.replies_sent, 41u) << "hit resent, evicted miss silent";
+
+  std::lock_guard lock(replies_.mutex);
+  const ReplyTask& resent = replies_.tasks.back();
+  EXPECT_EQ(resent.request, 40u);
+  EXPECT_EQ(resent.seq, 40u) << "stamped with the original instance";
+  EXPECT_EQ(resent.pillar, 0u) << "routed via the original pillar";
+  EXPECT_FALSE(resent.requests) << "cached retransmission skips post_process";
+}
+
+TEST_F(ExecutionStageTest, OmitOneUnderOffloadEmitsNoTaskForOmitted) {
+  start(ReplyMode::kOmitOne, /*pillars=*/2, /*offload=*/true);
+  RequestId omitted_id = 0, replied_id = 0;
+  for (RequestId id = 1; id < 50 && (!omitted_id || !replied_id); ++id) {
+    if (config_.omitted_replier(request_key(1001, id)) == 1)
+      omitted_id = omitted_id ? omitted_id : id;
+    else
+      replied_id = replied_id ? replied_id : id;
+  }
+  ASSERT_NE(omitted_id, 0u);
+  ASSERT_NE(replied_id, 0u);
+
+  stage_->submit(batch(1, {omitted_id}));
+  stage_->submit(batch(2, {replied_id}));
+  ASSERT_TRUE(replies_.wait_for(1));
+  ASSERT_TRUE(wait_stats(
+      [](const ExecutionStats& s) { return s.requests_executed >= 2; }));
+  {
+    std::lock_guard lock(replies_.mutex);
+    ASSERT_EQ(replies_.tasks.size(), 1u) << "omitted request emits no task";
+    EXPECT_EQ(replies_.tasks[0].request, replied_id);
+  }
+  ExecutionStats stats = stage_->stats();
+  EXPECT_EQ(stats.replies_omitted, 1u);
+  EXPECT_EQ(stats.replies_sent, 1u);
+
+  // A retransmission of the omitted request is still answered from the
+  // cache: the reply cache is replicated state, independent of which
+  // replica omitted the original reply.
+  stage_->submit(batch(3, {omitted_id}));
+  ASSERT_TRUE(replies_.wait_for(2));
+  std::lock_guard lock(replies_.mutex);
+  EXPECT_EQ(replies_.tasks[1].request, omitted_id);
+  EXPECT_FALSE(replies_.tasks[1].requests);
+}
+
+TEST_F(ExecutionStageTest, FallsBackInlineWhenPillarRejects) {
+  start(ReplyMode::kAll, /*pillars=*/2, /*offload=*/true);
+  {
+    std::lock_guard lock(replies_.mutex);
+    replies_.reject = true;  // saturated / closing pillar
+  }
+  stage_->submit(batch(1, {9}));
+  ASSERT_TRUE(wait_replies(1));
+  stage_->stop();
+
+  ExecutionStats stats = stage_->stats();
+  EXPECT_EQ(stats.replies_sent, 1u);
+  EXPECT_EQ(stats.replies_offloaded, 0u);
+  // The inline fallback seals a full, verifiable reply frame itself.
+  auto sent = transport_.take_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  auto decoded = decode_message(sent[0].frame);
+  ASSERT_TRUE(decoded);
+  const auto& reply = std::get<Reply>(decoded->msg);
+  EXPECT_EQ(reply.id, 9u);
+  ByteSpan body{sent[0].frame.data(), decoded->body_size};
+  EXPECT_TRUE(reply.auth.verify(*crypto_, replica_node(1),
+                                client_node(1001), body));
 }
 
 TEST_F(ExecutionStageTest, RepliesCarryVerifiableMac) {

@@ -400,6 +400,20 @@ TEST(MetricsCluster, ClusterRunProducesSeriesAndReconstructibleTrace) {
         e.pillar == execute->pillar)
       committed = true;
   EXPECT_TRUE(committed) << "no commit for seq " << execute->seq;
+
+  // Offloaded replies (paper §4.3.2): the egress event is stamped by the
+  // originating pillar with the real (pillar, seq) join key — it used to
+  // emit pillar=0, seq=0 for every reply, breaking trace joins.
+  bool egress = false;
+  for (const auto& e : events) {
+    if (e.point != trace::Point::kReplyEgress || e.client != cid ||
+        e.request != stable->request)
+      continue;
+    EXPECT_NE(e.seq, 0u) << "reply egress lost its sequence number";
+    EXPECT_EQ(e.pillar, e.seq % 2) << "egress pillar must be seq % NP";
+    egress = true;
+  }
+  EXPECT_TRUE(egress) << "no reply egress traced for the stable request";
 }
 
 #endif  // COP_METRICS_ENABLED

@@ -14,6 +14,7 @@
 #include "app/null_service.hpp"
 #include "common/queue.hpp"
 #include "core/execution_stage.hpp"
+#include "core/outbound.hpp"
 #include "support/fake_transport.hpp"
 
 namespace copbft::test {
@@ -96,9 +97,13 @@ TEST(RaceStress, BoundedQueueCloseRacesWithWaiters) {
 
 // Four threads play the pillars of one replica: each commits its own
 // sequence slice c(p,i) = p + i*NP out of order-of-arrival, the execution
-// stage re-serializes, executes, and replies through the transport. A
-// bystander thread polls the stats/next_seq accessors the whole time, the
-// way tests and monitoring do.
+// stage re-serializes, executes, and offloads each reply back to the
+// originating pillar's reply lane, where a consumer thread seals and
+// sends it (the exec -> pillar reply path of paper §4.3.2). The lanes are
+// deliberately small so the stage's inline fallback interleaves with the
+// offloaded path under contention. A bystander thread polls the
+// stats/next_seq accessors the whole time, the way tests and monitoring
+// do.
 TEST(RaceStress, PillarsToExecutionStageToOutbound) {
   constexpr std::uint32_t kPillars = 4;
   constexpr SeqNum kPerPillar = 1'000;
@@ -119,6 +124,33 @@ TEST(RaceStress, PillarsToExecutionStageToOutbound) {
                            checkpoint_commands.fetch_add(
                                1, std::memory_order_relaxed);
                        });
+
+  // Reply lanes: one small queue + consumer thread per pillar, the way
+  // CopReplica routes ReplyTasks into the pillars' event queues.
+  std::vector<std::unique_ptr<BoundedQueue<ReplyTask>>> reply_lanes;
+  for (std::uint32_t p = 0; p < kPillars; ++p)
+    reply_lanes.push_back(std::make_unique<BoundedQueue<ReplyTask>>(64));
+  std::atomic<std::uint64_t> offloaded{0};
+  stage.set_reply_fn([&](ReplyTask& task) {
+    return reply_lanes[task.pillar]->try_push_ref(task);
+  });
+  std::vector<std::jthread> repliers;
+  for (std::uint32_t p = 0; p < kPillars; ++p) {
+    repliers.emplace_back([&, p] {
+      while (auto task = reply_lanes[p]->pop()) {
+        EXPECT_EQ(task->pillar, p);
+        EXPECT_EQ(task->seq % kPillars, p) << "originating-pillar routing";
+        protocol::Message msg =
+            protocol::Reply{task->view,    task->client, task->request,
+                            /*replica=*/0, std::move(task->result), {}};
+        Bytes frame = seal_message(msg, *crypto, replica_node(0),
+                                   {client_node(task->client)});
+        transport.send(client_node(task->client), /*lane=*/0,
+                       std::move(frame));
+        offloaded.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
   stage.start();
 
   std::atomic<bool> done{false};
@@ -167,13 +199,21 @@ TEST(RaceStress, PillarsToExecutionStageToOutbound) {
   }
   done.store(true, std::memory_order_relaxed);
   stage.stop();
+  // Drain the reply lanes before counting: offloaded tasks may still be
+  // in flight after the stage thread exits.
+  for (auto& lane : reply_lanes) lane->close();
+  repliers.clear();  // join repliers
 
   ExecutionStats stats = stage.stats();
   EXPECT_EQ(stats.last_executed_seq, last_seq);
   EXPECT_EQ(stats.requests_executed, last_seq);
   EXPECT_EQ(checkpoint_commands.load(),
             last_seq / config.protocol.checkpoint_interval);
-  EXPECT_EQ(transport.sent_count(), last_seq) << "one reply per request";
+  EXPECT_EQ(transport.sent_count(), last_seq)
+      << "one reply per request, offloaded or inline";
+  EXPECT_EQ(stats.replies_sent, last_seq);
+  EXPECT_EQ(stats.replies_offloaded, offloaded.load());
+  EXPECT_GT(offloaded.load(), 0u) << "offload path never exercised";
 }
 
 }  // namespace
