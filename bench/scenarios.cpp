@@ -1,0 +1,82 @@
+// Adversarial scenario campaigns: runs every built-in ScenarioSpec
+// (Byzantine equivocation/omission/lane stall, crash-recover and flap
+// churn, WAN geo-replication and partition) on the deterministic simulator
+// and emits one BENCH_scenario_<name>.json artifact each.
+//
+// The exit status is the regression gate CI relies on: nonzero if any
+// scenario observed an execution fork or a COP_INVARIANT firing (safety),
+// failed to commit operations after its last fault cleared (liveness), or
+// left a faulted replica stranded behind the cluster (recovery).
+//
+// Unlike the figure benches this binary ignores COPBFT_BENCH_MEASURE_MS:
+// fault schedules are absolute points on the virtual timeline, so
+// shrinking the run would move injections past the end of the measurement.
+//
+// Usage: scenarios [name...]  — run only the named scenarios (default all).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace copbft::sim;
+
+  std::vector<std::string> only(argv + 1, argv + argc);
+  auto selected = [&only](const std::string& name) {
+    if (only.empty()) return true;
+    for (const std::string& n : only)
+      if (n == name) return true;
+    return false;
+  };
+
+  std::printf("Adversarial scenario campaigns\n");
+  std::printf(
+      "%-24s %10s %10s %6s %5s %6s %9s %8s\n", "scenario", "kops_per_s",
+      "p50_us", "forks", "invs", "xfers", "postfault", "recover");
+
+  int failures = 0;
+  bool ran_any = false;
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    if (!selected(spec.name)) continue;
+    ran_any = true;
+    ScenarioResult r = run_scenario(spec);
+
+    bool safe = r.safe();
+    bool live = r.post_fault_completed_ops > 0;
+    bool ok = safe && live && r.recoveries_complete;
+    if (!ok) ++failures;
+
+    std::printf("%-24s %10.1f %10llu %6llu %5llu %6llu %9llu %8s%s\n",
+                spec.name.c_str(), r.sim.throughput_ops / 1000.0,
+                static_cast<unsigned long long>(r.sim.latency_p50_us),
+                static_cast<unsigned long long>(r.sim.fork_detections),
+                static_cast<unsigned long long>(r.invariant_firings),
+                static_cast<unsigned long long>(r.sim.state_transfers),
+                static_cast<unsigned long long>(r.post_fault_completed_ops),
+                r.recoveries_complete ? "yes" : "NO",
+                ok ? "" : "  <-- FAILED");
+    std::fflush(stdout);
+
+    std::string path = "BENCH_scenario_" + spec.name + ".json";
+    std::string doc = scenario_json(spec, r);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f || std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+  }
+
+  if (!ran_any) {
+    std::fprintf(stderr, "no scenario matched the given names\n");
+    return 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d scenario(s) failed their safety/liveness gate\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

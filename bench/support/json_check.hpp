@@ -1,0 +1,130 @@
+// Minimal JSON validator shared by the bench artifact pipeline.
+//
+// Enough of RFC 8259 to reject anything structurally broken that our
+// hand-rolled serializers could emit (unbalanced braces, bad escapes,
+// trailing commas, bare inf/nan). Used by tests/metrics_test.cpp,
+// tests/scenario_test.cpp and the bench/validate_bench_json CLI that CI's
+// bench-smoke and scenario-smoke jobs run over every BENCH_*.json — one
+// validator, one definition of "well-formed".
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace copbft::bench {
+
+class JsonCheck {
+ public:
+  explicit JsonCheck(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    bool ok = value();
+    skip_ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* word) {
+    for (; *word; ++word, ++pos_)
+      if (peek() != *word) return false;
+    return true;
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_)
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return false;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(s_[pos_ - 1]));
+  }
+  bool members(char close, bool with_keys) {
+    ++pos_;  // consume opener
+    skip_ws();
+    if (peek() == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (with_keys) {
+        if (!string()) return false;
+        skip_ws();
+        if (peek() != ':') return false;
+        ++pos_;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == close) {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return members('}', /*with_keys=*/true);
+      case '[':
+        return members(']', /*with_keys=*/false);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace copbft::bench

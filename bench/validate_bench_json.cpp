@@ -1,0 +1,39 @@
+// CLI wrapper around the shared bench-JSON mini-validator: checks that
+// every file given on the command line parses as structurally valid JSON
+// (RFC 8259 subset — the same JsonCheck tests/metrics_test.cpp uses).
+// CI's bench-smoke and scenario-smoke jobs run it over the emitted
+// BENCH_*.json artifacts instead of carrying their own inline validators.
+//
+// Usage: validate_bench_json FILE... ; exit 0 iff all files are valid.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: validate_bench_json FILE...\n");
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++bad;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string content = buf.str();
+    if (content.empty() || !copbft::bench::JsonCheck(content).valid()) {
+      std::fprintf(stderr, "%s: INVALID JSON\n", argv[i]);
+      ++bad;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", argv[i], content.size());
+  }
+  return bad == 0 ? 0 : 1;
+}

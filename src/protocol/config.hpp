@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "protocol/adversary.hpp"
 #include "protocol/types.hpp"
 
 namespace copbft::protocol {
@@ -44,6 +45,11 @@ struct ProtocolConfig {
   /// fetch missed proposals) after this long without progress; liveness
   /// under message loss. 0 disables retransmission.
   std::uint64_t retransmit_interval_us = 200'000;
+
+  /// Byzantine behaviour injection for fault campaigns (scenario engine,
+  /// adversarial tests). Inert by default; only the replica named in it
+  /// acts on it. See adversary.hpp.
+  AdversaryConfig adversary;
 
   std::uint32_t quorum() const { return 2 * max_faulty + 1; }
   std::uint32_t weak_quorum() const { return max_faulty + 1; }

@@ -58,6 +58,69 @@ bool PbftCore::verify_request_now(const Request& req) {
 }
 
 // --------------------------------------------------------------------------
+// effect funnel / adversary hooks
+//
+// Every outgoing effect passes through emit(). For a correct replica that
+// is a plain push_back; on the configured adversary it is where selective
+// vote omission happens: own PREPAREs/COMMITs addressed to (or broadcast
+// towards) the omitted peers are silently dropped. Omission is restricted
+// to votes — proposals, checkpoints and view-change traffic still flow, so
+// the attack targets exactly the quorum formation the COP slices rely on.
+
+void PbftCore::emit(Effect e) {
+  if (adversary_active() && !config_.adversary.omit_votes_to.empty()) {
+    const AdversaryConfig& adv = config_.adversary;
+    auto is_vote = [](const Message& msg) {
+      MsgType t = type_of(msg);
+      return t == MsgType::kPrepare || t == MsgType::kCommit;
+    };
+    if (auto* send = std::get_if<SendTo>(&e)) {
+      if (is_vote(send->msg) && adv.omits_to(send->to)) {
+        ++stats_.adversary_omissions;
+        return;
+      }
+    } else if (auto* bcast = std::get_if<Broadcast>(&e)) {
+      if (is_vote(bcast->msg)) {
+        // Fan the broadcast out ourselves so individual recipients can be
+        // skipped; hosts treat Broadcast as "send to every other replica".
+        for (ReplicaId r = 0; r < config_.num_replicas; ++r) {
+          if (r == self_) continue;
+          if (adv.omits_to(r)) {
+            ++stats_.adversary_omissions;
+            continue;
+          }
+          effects_.push_back(SendTo{r, bcast->msg});
+        }
+        return;
+      }
+    }
+  }
+  effects_.push_back(std::move(e));
+}
+
+void PbftCore::equivocate_pre_prepare(PrePrepare real) {
+  // Conflicting, well-formed proposal for the same (view, seq): a no-op
+  // batch whose digest followers can re-derive, so both variants pass
+  // accept_pre_prepare and the conflict only surfaces in the vote phase.
+  PrePrepare decoy;
+  decoy.view = real.view;
+  decoy.seq = real.seq;
+  decoy.requests = {};
+  decoy.digest = batch_digest(crypto_, decoy.requests);
+
+  ++stats_.adversary_equivocations;
+  // Disjoint halves: low peer ids get the real batch, high ids the decoy.
+  std::vector<ReplicaId> peers;
+  for (ReplicaId r = 0; r < config_.num_replicas; ++r)
+    if (r != self_) peers.push_back(r);
+  std::size_t split = peers.size() / 2;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const PrePrepare& variant = (i < split) ? real : decoy;
+    emit(SendTo{peers[i], variant});
+  }
+}
+
+// --------------------------------------------------------------------------
 // inputs
 
 void PbftCore::on_request(Request req, std::uint64_t now_us, bool verified) {
@@ -446,7 +509,10 @@ void PbftCore::propose_batch(std::vector<Request> batch) {
   for (const Request& req : *inst.requests) ordered_keys_.insert(req.key());
   trace_instance(trace::Point::kPrePrepare, self_, slice_, seq, view_);
 
-  emit(Broadcast{std::move(pp)});
+  if (!pp.requests.empty() && adversary_active() && config_.adversary.equivocate)
+    equivocate_pre_prepare(std::move(pp));
+  else
+    emit(Broadcast{std::move(pp)});
   process_deferred(inst);
   evaluate(inst);
 }

@@ -56,6 +56,10 @@ struct CoreStats {
   std::uint64_t checkpoints_stable = 0;
   /// StateTransferNeeded effects emitted (rate-limited laggard detection).
   std::uint64_t state_transfer_hints = 0;
+  /// Injected misbehaviour (nonzero only on a configured adversary):
+  /// conflicting pre-prepares sent / own votes suppressed.
+  std::uint64_t adversary_equivocations = 0;
+  std::uint64_t adversary_omissions = 0;
 
   CoreStats& operator+=(const CoreStats& other) {
     proposals += other.proposals;
@@ -74,6 +78,8 @@ struct CoreStats {
     view_changes_completed += other.view_changes_completed;
     checkpoints_stable += other.checkpoints_stable;
     state_transfer_hints += other.state_transfer_hints;
+    adversary_equivocations += other.adversary_equivocations;
+    adversary_omissions += other.adversary_omissions;
     return *this;
   }
 };
@@ -230,7 +236,18 @@ class PbftCore {
   void note_progress() { last_progress_us_ = now_us_; }
   bool has_outstanding_work() const;
 
-  void emit(Effect e) { effects_.push_back(std::move(e)); }
+  /// Funnel for all outgoing effects. On a configured adversary this is
+  /// where selective vote omission happens (adversary.hpp); everywhere
+  /// else it is a plain push_back.
+  void emit(Effect e);
+  /// True when this core's replica is the configured adversary and the
+  /// fault window is open right now.
+  bool adversary_active() const {
+    return config_.adversary.applies_to(self_, now_us_);
+  }
+  /// Equivocation hook: broadcast the real pre-prepare to one half of the
+  /// peers and a conflicting well-formed no-op pre-prepare to the other.
+  void equivocate_pre_prepare(PrePrepare real);
 
   const ProtocolConfig config_;
   const ReplicaId self_;

@@ -80,7 +80,10 @@ struct CostModel {
   // ---- network ----
   /// 1 GbE adapter, measured 118 MB/s per direction (paper §5).
   double nic_bytes_per_ns = 0.118;
-  SimTime propagation_ns = 110'000;  ///< one-way incl. TCP/Java stack latency
+  /// One-way propagation incl. TCP/Java stack latency. This is the uniform
+  /// LAN of the paper's testbed; WAN scenarios override it per (src, dst)
+  /// pair via sim::LinkModel (nic.hpp) instead of this single constant.
+  SimTime propagation_ns = 110'000;
 
   // ---- SMT ----
   /// Relative speed of a hardware thread whose core sibling is busy.

@@ -13,8 +13,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event_queue.hpp"
 
@@ -89,18 +92,105 @@ class NicSet {
   std::vector<std::unique_ptr<Adapter>> adapters_;
 };
 
-/// Transfers `bytes` from `src` (tx port) to `dst` (rx port) and invokes
-/// `deliver` when the last byte has been received.
-inline void network_transfer(EventQueue& events, const CostModel& costs,
+/// Transfers `bytes` from `src` (tx port) to `dst` (rx port) with an
+/// explicit one-way propagation delay and invokes `deliver` when the last
+/// byte has been received.
+inline void network_transfer(EventQueue& events, SimTime propagation_ns,
                              Adapter& src, Adapter& dst, std::size_t bytes,
                              std::function<void()> deliver) {
   SimTime sent = src.tx.transmit(bytes);
-  SimTime arrival = sent + costs.propagation_ns;
+  SimTime arrival = sent + propagation_ns;
   events.schedule(arrival, [&events, &dst, bytes,
                             deliver = std::move(deliver)]() mutable {
     SimTime received = dst.rx.transmit(bytes);
     events.schedule(received, std::move(deliver));
   });
 }
+
+/// Uniform-latency transfer (the LAN of the paper's testbed): propagation
+/// comes from the cost model's single global constant.
+inline void network_transfer(EventQueue& events, const CostModel& costs,
+                             Adapter& src, Adapter& dst, std::size_t bytes,
+                             std::function<void()> deliver) {
+  network_transfer(events, costs.propagation_ns, src, dst, bytes,
+                   std::move(deliver));
+}
+
+// --------------------------------------------------------------------------
+// WAN link model
+//
+// Generalizes the single global propagation_ns to a per-(src, dst) one-way
+// latency matrix with deterministic seeded jitter and transient partitions.
+// Node ids are arbitrary — the simulation maps replica ids and a sentinel
+// client node onto them. Jitter draws come from one seeded generator; the
+// event queue's total order makes the draw sequence (and therefore whole
+// runs) reproducible for a fixed spec + seed.
+
+/// One-way latency override for a directed pair (applied symmetrically by
+/// callers that want full-duplex links — add both directions).
+struct LinkSpec {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  SimTime latency_ns = 0;
+};
+
+/// Transient partition: traffic between set `a` and set `b` (both ways) is
+/// dropped while now ∈ [from_ns, until_ns).
+struct PartitionSpec {
+  SimTime from_ns = 0;
+  SimTime until_ns = 0;
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+};
+
+class LinkModel {
+ public:
+  LinkModel(SimTime default_latency_ns, SimTime jitter_ns, std::uint64_t seed)
+      : default_latency_ns_(default_latency_ns),
+        jitter_ns_(jitter_ns),
+        rng_(seed) {}
+
+  void set_link(std::uint32_t src, std::uint32_t dst, SimTime latency_ns) {
+    links_[link_key(src, dst)] = latency_ns;
+  }
+  void add_partition(PartitionSpec p) { partitions_.push_back(std::move(p)); }
+
+  /// True while a partition separates src from dst at `now`.
+  bool blocked(std::uint32_t src, std::uint32_t dst, SimTime now) const {
+    for (const PartitionSpec& p : partitions_) {
+      if (now < p.from_ns || now >= p.until_ns) continue;
+      bool src_a = contains(p.a, src), src_b = contains(p.b, src);
+      bool dst_a = contains(p.a, dst), dst_b = contains(p.b, dst);
+      if ((src_a && dst_b) || (src_b && dst_a)) return true;
+    }
+    return false;
+  }
+
+  /// One-way propagation for this transfer: base matrix entry (or the
+  /// default) plus a fresh jitter draw. Mutates the generator — call once
+  /// per transfer.
+  SimTime latency(std::uint32_t src, std::uint32_t dst) {
+    auto it = links_.find(link_key(src, dst));
+    SimTime base = it == links_.end() ? default_latency_ns_ : it->second;
+    if (jitter_ns_ == 0) return base;
+    return base + rng_.below(jitter_ns_ + 1);
+  }
+
+ private:
+  static std::uint64_t link_key(std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  static bool contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+    for (std::uint32_t e : v)
+      if (e == x) return true;
+    return false;
+  }
+
+  SimTime default_latency_ns_;
+  SimTime jitter_ns_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, SimTime> links_;
+  std::vector<PartitionSpec> partitions_;
+};
 
 }  // namespace copbft::sim

@@ -1,0 +1,70 @@
+// Declarative adversarial-scenario engine over the deterministic simulator.
+//
+// A ScenarioSpec names a complete robustness campaign: seed, workload
+// shape, fault schedule (crash/recover/pause churn), Byzantine adversary
+// behaviour (protocol::AdversaryConfig inside the protocol config) and WAN
+// topology (SimConfig::WanConfig). run_scenario() executes it on the
+// simulator with the COP_INVARIANT checker armed as a counting oracle and
+// derives the safety/liveness verdicts CI gates on:
+//   * fork_detections == 0      — no two correct replicas executed a
+//                                 sequence number with different contents;
+//   * invariant_firings == 0    — no partition/order/drift invariant fired;
+//   * post-fault liveness       — committed operations after the last
+//                                 injected fault cleared;
+//   * recoveries complete       — every faulted replica's execution
+//                                 frontier caught back up to the cluster.
+// scenario_json() renders a deterministic BENCH_scenario_<name>.json: the
+// same spec + seed produces bit-identical bytes (asserted by a test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace copbft::sim {
+
+struct ScenarioSpec {
+  std::string name;         ///< artifact suffix: BENCH_scenario_<name>.json
+  std::string description;  ///< one line, rendered into the artifact
+  /// Fault axes exercised ("byzantine", "churn", "wan"); documentation
+  /// and artifact metadata, not behaviour.
+  std::vector<std::string> axes;
+  SimConfig config;
+};
+
+struct ScenarioResult {
+  SimResult sim;
+  /// COP_INVARIANT firings observed during the run (oracle, must be 0).
+  std::uint64_t invariant_firings = 0;
+  /// Virtual time the last time-bounded fault cleared (0 = none clears;
+  /// unbounded faults are covered by the whole-run throughput check).
+  SimTime last_fault_clear_ns = 0;
+  /// Completed client operations in timeline buckets starting at or after
+  /// last_fault_clear_ns — the graceful-degradation liveness signal.
+  std::uint64_t post_fault_completed_ops = 0;
+  /// Every fault-affected correct replica's final execution frontier is
+  /// within 2 * window of the cluster frontier.
+  bool recoveries_complete = true;
+
+  bool safe() const { return sim.fork_detections == 0 && invariant_firings == 0; }
+};
+
+/// Virtual time at which the last bounded fault of `spec` clears
+/// (kResume/kRecover events, partition ends, adversary/stall windows).
+SimTime last_fault_clear_ns(const ScenarioSpec& spec);
+
+/// Runs the scenario; installs a counting invariant handler for the
+/// duration of the run and restores the previous one after.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Deterministic JSON artifact ("copbft-scenario-v1" schema); see
+/// docs/scenarios.md for the field reference.
+std::string scenario_json(const ScenarioSpec& spec, const ScenarioResult& r);
+
+/// The committed fault campaigns: Byzantine equivocation/omission/lane
+/// stall, crash-recover and pause churn, WAN geo-replication and
+/// partition. Each emits one BENCH artifact via bench/scenarios.
+std::vector<ScenarioSpec> builtin_scenarios();
+
+}  // namespace copbft::sim

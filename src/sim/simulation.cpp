@@ -6,6 +6,7 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,7 +50,24 @@ struct ReplicaSim;
 struct ClientFleet;
 
 struct World {
-  explicit World(const SimConfig& config) : cfg(config), costs(config.costs) {}
+  explicit World(const SimConfig& config) : cfg(config), costs(config.costs) {
+    net_down.assign(cfg.protocol.num_replicas, 0);
+    if (cfg.wan.enabled) {
+      links = std::make_unique<LinkModel>(cfg.wan.default_latency_ns,
+                                          cfg.wan.jitter_ns, cfg.seed ^ 0x11a);
+      for (const LinkSpec& l : cfg.wan.links) {
+        links->set_link(l.src, l.dst, l.latency_ns);
+        links->set_link(l.dst, l.src, l.latency_ns);
+      }
+      // Clients sit on one sentinel node; their latency towards every
+      // replica is uniform so WAN effects isolate to the replica mesh.
+      for (std::uint32_t r = 0; r < cfg.protocol.num_replicas; ++r) {
+        links->set_link(client_node(), r, cfg.wan.client_latency_ns);
+        links->set_link(r, client_node(), cfg.wan.client_latency_ns);
+      }
+      for (const PartitionSpec& p : cfg.wan.partitions) links->add_partition(p);
+    }
+  }
 
   const SimConfig& cfg;
   const CostModel& costs;
@@ -62,17 +80,53 @@ struct World {
   std::uint64_t state_transfers = 0;
   Histogram latency_us;
 
+  /// Per-replica network state driven by the fault schedule: while down a
+  /// replica neither sends nor receives.
+  std::vector<char> net_down;
+  /// WAN topology; null = uniform LAN from the cost model.
+  std::unique_ptr<LinkModel> links;
+
+  /// Cross-replica execution fork oracle: content hash of every executed
+  /// sequence number, checked across correct replicas.
+  std::unordered_map<std::uint64_t, std::uint64_t> executed_hash;
+  std::uint64_t fork_detections = 0;
+
+  /// Completed client operations per 10 ms bucket, warmup included.
+  std::vector<std::uint64_t> ops_timeline;
+
   std::uint64_t now_virtual_us() const { return events.now() / 1000; }
 
-  /// Fault injection: the paused replica's network is cut both ways.
-  bool paused(ReplicaId r) const {
-    return r == cfg.pause_replica && events.now() >= cfg.pause_at &&
-           events.now() < cfg.resume_at;
+  /// Sentinel link-model node for the client machines.
+  std::uint32_t client_node() const { return cfg.protocol.num_replicas; }
+
+  /// Fault injection: the replica's network is cut both ways while down.
+  bool paused(ReplicaId r) const { return net_down[r] != 0; }
+
+  void note_executed(ReplicaId executor, SeqNum seq, std::uint64_t hash) {
+    if (executor == cfg.protocol.adversary.replica) return;
+    auto [it, inserted] = executed_hash.emplace(seq, hash);
+    if (!inserted && it->second != hash) ++fork_detections;
   }
 
-  void transfer(Adapter& src, Adapter& dst, std::size_t bytes,
+  void record_completion() {
+    std::size_t bucket = events.now() / SimResult::kTimelineBucketNs;
+    if (ops_timeline.size() <= bucket) ops_timeline.resize(bucket + 1, 0);
+    ++ops_timeline[bucket];
+  }
+
+  /// Point-to-point transfer between link-model nodes `src_node` and
+  /// `dst_node` (replica ids, or client_node()). Partitioned traffic is
+  /// dropped; otherwise propagation comes from the link model (or the
+  /// cost model's LAN constant when WAN is disabled).
+  void transfer(std::uint32_t src_node, std::uint32_t dst_node, Adapter& src,
+                Adapter& dst, std::size_t bytes,
                 std::function<void()> deliver) {
-    network_transfer(events, costs, src, dst, bytes, std::move(deliver));
+    SimTime propagation = costs.propagation_ns;
+    if (links) {
+      if (links->blocked(src_node, dst_node, events.now())) return;
+      propagation = links->latency(src_node, dst_node);
+    }
+    network_transfer(events, propagation, src, dst, bytes, std::move(deliver));
   }
 };
 
@@ -90,16 +144,29 @@ struct LogicUnit {
   SimThread& thread;
   AcceptAllVerifier verifier;
   std::unique_ptr<crypto::CryptoProvider> crypto;
-  PbftCore core;
+  // Construction parameters kept so a crash/recover fault can re-create
+  // the core in place (the LogicUnit itself stays alive: queued SimThread
+  // tasks hold LogicUnit pointers).
+  const ProtocolConfig pcfg;
+  const ReplicaId self;
+  const SeqSlice slice;
+  std::optional<PbftCore> core;
 
   LogicUnit(World& w, ReplicaSim& r, std::uint32_t idx, SimThread& t,
-            const ProtocolConfig& pcfg, ReplicaId self, SeqSlice slice)
+            const ProtocolConfig& config, ReplicaId self_id, SeqSlice s)
       : world(w),
         replica(r),
         index(idx),
         thread(t),
-        crypto(crypto::make_null_crypto()),
-        core(pcfg, self, slice, verifier, *crypto) {}
+        pcfg(config),
+        self(self_id),
+        slice(s) {
+    crypto = crypto::make_null_crypto();
+    core.emplace(pcfg, self, slice, verifier, *crypto);
+  }
+
+  /// Crash recovery: fresh protocol state, as if the process restarted.
+  void reset_core() { core.emplace(pcfg, self, slice, verifier, *crypto); }
 
   static crypto::Digest digest_for(SeqNum seq) {
     crypto::Digest d;
@@ -247,6 +314,11 @@ struct ReplicaSim {
   bool transfer_inflight = false;
   void request_state_transfer(SeqNum observed);
   void complete_state_transfer(SeqNum observed);
+
+  /// kRecover after kCrash: lose all volatile state — fresh protocol cores,
+  /// empty execution frontier. First peer contact shows this replica is far
+  /// behind (out-of-window evidence) and triggers a state transfer.
+  void crash_reset();
 };
 
 // ---------------------------------------------------------------------------
@@ -342,9 +414,9 @@ struct ClientFleet {
 double LogicUnit::feed_request(const Request& req, std::size_t frame_bytes,
                                bool pre_verified) {
   const CostModel& costs = world.costs;
-  CoreStats before = core.stats();
-  core.on_request(req, world.now_virtual_us(), pre_verified);
-  const CoreStats& after = core.stats();
+  CoreStats before = core->stats();
+  core->on_request(req, world.now_virtual_us(), pre_verified);
+  const CoreStats& after = core->stats();
   double cost = static_cast<double>(after.request_macs_verified -
                                     before.request_macs_verified) *
                 costs.mac_ns(frame_bytes);
@@ -353,12 +425,12 @@ double LogicUnit::feed_request(const Request& req, std::size_t frame_bytes,
 
 double LogicUnit::feed_message(const Packet& packet) {
   const CostModel& costs = world.costs;
-  CoreStats before = core.stats();
+  CoreStats before = core->stats();
   IncomingMessage im;
   im.msg = packet.msg;  // copy; the packet is shared between recipients
   im.pre_verified = packet.pre_verified;
-  core.on_message(std::move(im), world.now_virtual_us());
-  const CoreStats& after = core.stats();
+  core->on_message(std::move(im), world.now_virtual_us());
+  const CoreStats& after = core->stats();
 
   double cost = costs.logic_per_message_ns;
   std::uint64_t verified = after.macs_verified - before.macs_verified;
@@ -380,44 +452,44 @@ double LogicUnit::feed_message(const Packet& packet) {
 }
 
 double LogicUnit::note_stable(SeqNum seq) {
-  core.note_checkpoint_stable(seq, digest_for(seq));
+  core->note_checkpoint_stable(seq, digest_for(seq));
   return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
          drain_effects();
 }
 
 double LogicUnit::start_checkpoint(SeqNum seq) {
-  core.start_checkpoint(seq, digest_for(seq), world.now_virtual_us());
+  core->start_checkpoint(seq, digest_for(seq), world.now_virtual_us());
   return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
          drain_effects();
 }
 
 double LogicUnit::fill_gap(SeqNum upto, SeqNum frontier) {
-  core.fill_gap_upto(upto, world.now_virtual_us(), frontier);
+  core->fill_gap_upto(upto, world.now_virtual_us(), frontier);
   return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
          drain_effects();
 }
 
 double LogicUnit::fetch_missing(SeqNum upto) {
-  core.fetch_missing_upto(upto, world.now_virtual_us());
+  core->fetch_missing_upto(upto, world.now_virtual_us());
   return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
          drain_effects();
 }
 
 double LogicUnit::tick() {
-  core.tick(world.now_virtual_us());
+  core->tick(world.now_virtual_us());
   return world.costs.logic_per_message_ns + drain_effects();
 }
 
 double LogicUnit::drain_effects() {
   const CostModel& costs = world.costs;
   double cost = 0;
-  for (Effect& effect : core.take_effects()) {
+  for (Effect& effect : core->take_effects()) {
     if (auto* bc = std::get_if<Broadcast>(&effect)) {
       // Proposals pay the batch digest when formed.
       if (std::holds_alternative<PrePrepare>(bc->msg))
         cost += costs.digest_ns(encoded_size(bc->msg));
       std::vector<ReplicaId> recipients;
-      for (ReplicaId r = 0; r < core.config().num_replicas; ++r)
+      for (ReplicaId r = 0; r < core->config().num_replicas; ++r)
         if (r != replica.id) recipients.push_back(r);
       cost += replica.send_protocol(std::move(bc->msg), index,
                                     std::move(recipients));
@@ -568,13 +640,30 @@ double ReplicaSim::send_protocol(Message&& msg, std::uint32_t lane,
 void ReplicaSim::transmit_to_peer(ReplicaId to, std::uint32_t lane,
                                   PacketPtr packet) {
   if (world.paused(id)) return;  // fault injection: egress cut
+  // Lane stall: a slow/throttled pillar connection delays every frame it
+  // carries before the NIC even sees it.
+  SimTime stall = 0;
+  for (const SimConfig::LaneStall& s : cfg.lane_stalls) {
+    if (s.replica != id || s.lane != lane) continue;
+    SimTime now = world.events.now();
+    if (now < s.from || (s.until != 0 && now >= s.until)) continue;
+    stall += s.delay_ns;
+  }
   ReplicaSim& peer = *world.replicas[to];
   std::uint32_t peer_lane = lane % peer.lanes();
-  world.transfer(nics.adapter_for_lane(lane),
-                 peer.nics.adapter_for_lane(peer_lane), packet->bytes,
-                 [&peer, peer_lane, packet]() mutable {
-                   peer.deliver(peer_lane, std::move(packet));
-                 });
+  ReplicaSim* self = this;
+  auto put_on_wire = [self, &peer, to, lane, peer_lane, packet]() mutable {
+    self->world.transfer(self->id, to, self->nics.adapter_for_lane(lane),
+                         peer.nics.adapter_for_lane(peer_lane), packet->bytes,
+                         [&peer, peer_lane, packet]() mutable {
+                           peer.deliver(peer_lane, std::move(packet));
+                         });
+  };
+  if (stall == 0) {
+    put_on_wire();
+  } else {
+    world.events.schedule_in(stall, std::move(put_on_wire));
+  }
 }
 
 double ReplicaSim::send_replies(const std::vector<PendingReply>& replies,
@@ -591,8 +680,8 @@ double ReplicaSim::send_replies(const std::vector<PendingReply>& replies,
     Adapter& dst = fleet.nics[client.machine]->adapter_for_lane(reply.client);
     ClientId cid = reply.client;
     RequestId rid = reply.rid;
-    world.transfer(nics.adapter_for_lane(out_lane(lane)), dst, bytes,
-                   [&fleet, cid, rid, bytes] {
+    world.transfer(id, world.client_node(), nics.adapter_for_lane(out_lane(lane)),
+                   dst, bytes, [&fleet, cid, rid, bytes] {
                      fleet.receive_reply(cid, rid, bytes);
                    });
   }
@@ -622,7 +711,7 @@ void ReplicaSim::complete_state_transfer(SeqNum observed) {
   for (auto& peer : world.replicas) {
     if (peer->id == id || world.paused(peer->id)) continue;
     for (auto& unit : peer->logic)
-      stable = std::max(stable, unit->core.stable_seq());
+      stable = std::max(stable, unit->core->stable_seq());
   }
   if (stable < exec->next_seq) return;  // caught up by retransmission
   ++world.state_transfers;
@@ -638,6 +727,15 @@ void ReplicaSim::complete_state_transfer(SeqNum observed) {
       return unit->note_stable(stable) + unit->fetch_missing(upto);
     });
   }
+}
+
+void ReplicaSim::crash_reset() {
+  for (auto& unit : logic) unit->reset_core();
+  exec->next_seq = 1;
+  exec->reorder.clear();
+  exec->inbox.clear();
+  exec->last_gap_frontier = 0;
+  transfer_inflight = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -683,6 +781,18 @@ double ExecSim::apply_ready(
     const Deliver& d = it->second;
     ++executed_instances;
     cost += costs.exec_order_ns;
+    // Fork oracle (pure observer, no CPU charged): record what this
+    // replica executed at next_seq and compare against its peers. The
+    // fold over (client, id) keys is order-sensitive, so any divergence
+    // in agreed batch contents shows up.
+    std::uint64_t content_hash = 1469598103934665603ULL;
+    if (d.requests) {
+      for (const Request& req : *d.requests) {
+        content_hash ^= req.key();
+        content_hash *= 1099511628211ULL;
+      }
+    }
+    world.note_executed(replica.id, next_seq, content_hash);
     if (d.requests) {
       for (const Request& req : *d.requests) {
         ++executed_requests;
@@ -829,7 +939,8 @@ double ClientFleet::issue(SimClient& client) {
     cost += costs.mac_ns(packet->bytes) + costs.send_ns(packet->bytes);
     ReplicaSim& replica = *world.replicas[r];
     std::uint32_t lane = replica.client_lane(client.id);
-    world.transfer(src, replica.nics.adapter_for_lane(lane), packet->bytes,
+    world.transfer(world.client_node(), r, src,
+                   replica.nics.adapter_for_lane(lane), packet->bytes,
                    [&replica, lane, packet]() mutable {
                      replica.deliver(lane, std::move(packet));
                    });
@@ -859,6 +970,7 @@ double ClientFleet::on_reply(SimClient& client, RequestId rid,
   ++op.replies_seen;
   if (!op.done && op.replies_seen >= cfg.protocol.max_faulty + 1) {
     op.done = true;
+    world.record_completion();
     if (world.measuring) {
       ++world.completed_ops;
       world.latency_us.record((world.events.now() - op.issued_at) / 1000);
@@ -916,6 +1028,29 @@ SimResult run_simulation(const SimConfig& config) {
                 end);
   }
 
+  // Fault timeline (includes the legacy pause triple via the compat shim).
+  for (const SimConfig::FaultEvent& ev : config.effective_faults()) {
+    World* w = &world;
+    std::uint32_t r = ev.replica;
+    auto kind = ev.kind;
+    world.events.schedule(ev.at, [w, r, kind] {
+      using Kind = SimConfig::FaultEvent::Kind;
+      switch (kind) {
+        case Kind::kPause:
+        case Kind::kCrash:
+          w->net_down[r] = 1;
+          break;
+        case Kind::kResume:
+          w->net_down[r] = 0;
+          break;
+        case Kind::kRecover:
+          w->net_down[r] = 0;
+          w->replicas[r]->crash_reset();
+          break;
+      }
+    });
+  }
+
   world.fleet->start();
 
   world.events.run_until(config.warmup);
@@ -938,8 +1073,8 @@ SimResult run_simulation(const SimConfig& config) {
       static_cast<double>(world.replicas[0]->nics.tx_bytes_window()) /
       (seconds * 1e6);
   for (auto& unit : world.replicas[0]->logic) {
-    result.leader_core += unit->core.stats();
-    result.instances += unit->core.stats().instances_delivered;
+    result.leader_core += unit->core->stats();
+    result.instances += unit->core->stats().instances_delivered;
   }
   result.leader_cpu_utilization = world.replicas[0]->machine.utilization(end);
   result.follower_cpu_utilization =
@@ -949,6 +1084,20 @@ SimResult run_simulation(const SimConfig& config) {
   if (config.pause_replica < config.protocol.num_replicas)
     result.laggard_next_seq =
         world.replicas[config.pause_replica]->exec->next_seq;
+  for (auto& replica : world.replicas) {
+    result.replica_next_seq.push_back(replica->exec->next_seq);
+    for (auto& unit : replica->logic) {
+      result.adversary_equivocations +=
+          unit->core->stats().adversary_equivocations;
+      result.adversary_omissions += unit->core->stats().adversary_omissions;
+    }
+  }
+  result.fork_detections = world.fork_detections;
+  result.ops_timeline = std::move(world.ops_timeline);
+  // Fixed timeline length for a given run length: pad trailing idle
+  // buckets so bit-identical artifacts don't depend on when the last
+  // operation completed.
+  result.ops_timeline.resize(end / SimResult::kTimelineBucketNs, 0);
   const double elapsed_ns = static_cast<double>(end);
   for (const auto& t : world.replicas[0]->machine.threads())
     result.leader_stages.push_back(SimResult::StageLoad{
@@ -967,8 +1116,8 @@ SimResult run_simulation(const SimConfig& config) {
       ExecSim& exec = *world.replicas[r]->exec;
       std::size_t pending = 0, open = 0;
       for (auto& unit : world.replicas[r]->logic) {
-        pending += unit->core.pending_requests();
-        open += unit->core.open_instances();
+        pending += unit->core->pending_requests();
+        open += unit->core->open_instances();
       }
       std::fprintf(
           stderr,
@@ -979,7 +1128,7 @@ SimResult run_simulation(const SimConfig& config) {
           exec.reorder.size(), pending, open);
       if (r == 0) {
         for (std::size_t u = 0; u < world.replicas[r]->logic.size(); ++u) {
-          const auto& cs = world.replicas[r]->logic[u]->core.stats();
+          const auto& cs = world.replicas[r]->logic[u]->core->stats();
           std::fprintf(stderr,
                        "[sim]   unit %zu: prop=%llu del=%llu macs=%llu "
                        "reqmacs=%llu skip=%llu open=%zu pend=%zu backlog=%zu\n",
@@ -988,8 +1137,8 @@ SimResult run_simulation(const SimConfig& config) {
                        (unsigned long long)cs.macs_verified,
                        (unsigned long long)cs.request_macs_verified,
                        (unsigned long long)cs.verifications_skipped,
-                       world.replicas[r]->logic[u]->core.open_instances(),
-                       world.replicas[r]->logic[u]->core.pending_requests(),
+                       world.replicas[r]->logic[u]->core->open_instances(),
+                       world.replicas[r]->logic[u]->core->pending_requests(),
                        world.replicas[r]->logic[u]->thread.backlog());
         }
       }

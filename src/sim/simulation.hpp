@@ -23,6 +23,7 @@
 #include "protocol/config.hpp"
 #include "protocol/pbft_core.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/nic.hpp"
 
 namespace copbft::sim {
 
@@ -78,16 +79,72 @@ struct SimConfig {
   std::uint64_t seed = 42;
 
   // ---- fault injection ----
-  /// Replica whose network is cut during [pause_at, resume_at); UINT32_MAX
-  /// disables the fault. While paused the replica neither receives nor
-  /// sends — the cluster keeps committing with the remaining 2f+1 and
-  /// truncates its logs past the laggard's window, forcing the resumed
-  /// replica through the checkpoint-based state-transfer path.
+  /// Legacy single-fault triple, kept as a compatibility shim: when
+  /// pause_replica is set it is translated into a kPause/kResume pair on
+  /// the `faults` timeline below. UINT32_MAX disables it.
   std::uint32_t pause_replica = UINT32_MAX;
   SimTime pause_at = 0;
   SimTime resume_at = 0;
 
+  /// Generalized fault schedule: a timeline of per-replica events.
+  ///   kPause   — cut the replica's network (it neither sends nor receives;
+  ///              its cores keep spinning on stale state).
+  ///   kResume  — restore the network. The cluster meanwhile truncated its
+  ///              logs past the laggard's window, so rejoining goes through
+  ///              the checkpoint-based state-transfer path under load.
+  ///   kCrash   — network cut *plus* full loss of volatile state.
+  ///   kRecover — restart with fresh protocol cores and an empty execution
+  ///              frontier; first peer contact reveals the gap and triggers
+  ///              state transfer.
+  struct FaultEvent {
+    enum class Kind { kPause, kResume, kCrash, kRecover };
+    SimTime at = 0;
+    std::uint32_t replica = 0;
+    Kind kind = Kind::kPause;
+  };
+  std::vector<FaultEvent> faults;
+
+  /// Delay every frame leaving `replica` on pillar lane `lane` by an extra
+  /// `delay_ns` while now ∈ [from, until) (until = 0 → forever): a slow or
+  /// throttled pillar connection stalling one COP lane.
+  struct LaneStall {
+    std::uint32_t replica = 0;
+    std::uint32_t lane = 0;
+    SimTime delay_ns = 0;
+    SimTime from = 0;
+    SimTime until = 0;
+  };
+  std::vector<LaneStall> lane_stalls;
+
+  /// WAN topology: per-(src, dst) one-way latencies with seeded jitter and
+  /// transient partitions (sim/nic.hpp LinkModel). Disabled by default —
+  /// the uniform LAN constant of the cost model applies.
+  struct WanConfig {
+    bool enabled = false;
+    /// Replica-to-replica default when no link override matches.
+    SimTime default_latency_ns = 110'000;
+    /// Uniform jitter [0, jitter_ns] added per transfer, seeded draw.
+    SimTime jitter_ns = 0;
+    /// One-way overrides, applied in both directions of each listed pair.
+    std::vector<LinkSpec> links;
+    /// Transient partitions between replica sets.
+    std::vector<PartitionSpec> partitions;
+    /// Latency between client machines and every replica.
+    SimTime client_latency_ns = 110'000;
+  };
+  WanConfig wan;
+
   CostModel costs;
+
+  /// The fault timeline with the legacy pause triple folded in.
+  std::vector<FaultEvent> effective_faults() const {
+    std::vector<FaultEvent> all = faults;
+    if (pause_replica != UINT32_MAX) {
+      all.push_back({pause_at, pause_replica, FaultEvent::Kind::kPause});
+      all.push_back({resume_at, pause_replica, FaultEvent::Kind::kResume});
+    }
+    return all;
+  }
 
   /// Resolved pillar count for this configuration.
   std::uint32_t pillars() const {
@@ -127,6 +184,23 @@ struct SimResult {
   std::uint64_t state_transfers = 0;
   std::uint64_t laggard_next_seq = 0;
   std::uint64_t cluster_next_seq = 0;
+
+  /// Execution frontier (next_seq) of every replica at the end of the run;
+  /// scenario liveness/recovery checks read these.
+  std::vector<std::uint64_t> replica_next_seq;
+  /// Cross-replica execution fork oracle: number of sequence numbers two
+  /// correct replicas executed with different batch contents. Must be 0 —
+  /// any other value is a safety violation.
+  std::uint64_t fork_detections = 0;
+  /// Injected misbehaviour actually exercised (sum over the adversary's
+  /// cores; zero on fault-free runs).
+  std::uint64_t adversary_equivocations = 0;
+  std::uint64_t adversary_omissions = 0;
+  /// Completed client operations per 10 ms bucket over the whole run
+  /// (warmup included, bucket 0 = virtual time 0). Scenario posts-fault
+  /// liveness checks and recovery-time estimates read this timeline.
+  std::vector<std::uint64_t> ops_timeline;
+  static constexpr SimTime kTimelineBucketNs = 10 * 1'000'000ULL;
 
   /// Per-stage load of the leader machine's simulated threads: fraction of
   /// the run each stage was busy and its queued jobs at the end (the

@@ -7,10 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "common/threading.hpp"
 
 namespace copbft::transport {
@@ -155,7 +159,9 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(peer.port);
   if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    int saved = errno;
     ::close(fd);
+    errno = saved;
     return -1;
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
@@ -163,6 +169,7 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
     // asynchronously (POSIX). Wait for completion and read the outcome
     // from SO_ERROR instead of treating the peer as unreachable.
     bool recovered = false;
+    int saved = errno;
     if (errno == EINTR) {
       pollfd pfd{fd, POLLOUT, 0};
       int rc;
@@ -173,15 +180,44 @@ int TcpTransport::connect_to(const TcpPeer& peer) {
       recovered = rc > 0 &&
                   ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) == 0 &&
                   err == 0;
+      if (!recovered && rc > 0 && err != 0) saved = err;
     }
     if (!recovered) {
+      // close() may clobber errno; callers (connect_with_retry) dispatch on
+      // the *connect* failure, so carry it across.
       ::close(fd);
+      errno = saved;
       return -1;
     }
   }
   int yes = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
   return fd;
+}
+
+int TcpTransport::connect_with_retry(const TcpPeer& peer) {
+  // ECONNREFUSED during startup is routine — replicas boot in arbitrary
+  // order, so the first sender usually races the peer's listen(). Retry a
+  // bounded number of times with exponential backoff; ±25% jitter keeps a
+  // whole cluster restarting at once from hammering the late peer in
+  // lockstep. Other errnos (unreachable host, bad address) fail fast.
+  Rng jitter(0x7c9ULL * self_ ^ (static_cast<std::uint64_t>(peer.port) << 32) ^
+             reinterpret_cast<std::uintptr_t>(&peer));
+  std::uint32_t delay_ms = connect_base_delay_ms_;
+  for (int attempt = 1;; ++attempt) {
+    int fd = connect_to(peer);
+    if (fd >= 0) return fd;
+    if (errno != ECONNREFUSED || attempt >= connect_attempts_) return -1;
+    {
+      MutexLock lock(mutex_);
+      if (stopping_) return -1;
+    }
+    // delay ± 25%: [3/4·delay, 5/4·delay].
+    std::uint64_t lo = delay_ms - delay_ms / 4;
+    std::uint64_t sleep_ms = lo + jitter.below(delay_ms / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    delay_ms = std::min(delay_ms * 2, 500u);
+  }
 }
 
 bool TcpTransport::write_all(const OutConn& conn, const Byte* data,
@@ -194,26 +230,41 @@ bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
   {
     MutexLock lock(mutex_);
     if (stopping_) return false;
+    auto it = outgoing_.find({to, lane});
+    if (it != outgoing_.end()) conn = it->second.get();
+  }
+  if (!conn) {
+    // Connect outside mutex_: the retry schedule can block for hundreds of
+    // milliseconds, and holding the lock would freeze every other lane's
+    // sends (plus sink registration and shutdown) meanwhile.
+    auto peer = peers_.find(to);  // peers_ is immutable after construction
+    if (peer == peers_.end()) return false;
+    int fd = connect_with_retry(peer->second);
+    if (fd < 0) return false;
+    auto& registry = metrics::MetricsRegistry::global();
+    auto fresh = std::make_unique<OutConn>(
+        fd, registry.counter(lane_metric(self_, lane, "tx_frames")),
+        registry.counter(lane_metric(self_, lane, "tx_bytes")));
+    Hello hello{self_, lane};
+    // Not yet published: no writer contention on the hello.
+    if (!write_all(*fresh, reinterpret_cast<const Byte*>(&hello),
+                   sizeof hello)) {
+      ::close(fd);
+      return false;
+    }
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return false;
+    }
     auto& slot = outgoing_[{to, lane}];
-    if (!slot) {
-      auto peer = peers_.find(to);
-      if (peer == peers_.end()) return false;
-      int fd = connect_to(peer->second);
-      if (fd < 0) return false;
-      auto& registry = metrics::MetricsRegistry::global();
+    if (slot) {
+      // Another sender connected this (peer, lane) while we were outside
+      // the lock; keep the published one, drop ours.
+      ::close(fd);
+    } else {
       registry.counter(lane_metric(self_, lane, "connects")).add();
-      slot = std::make_unique<OutConn>(
-          fd, registry.counter(lane_metric(self_, lane, "tx_frames")),
-          registry.counter(lane_metric(self_, lane, "tx_bytes")));
-      Hello hello{self_, lane};
-      // The connection is not published yet: no writer contention, the
-      // registry lock alone covers the hello.
-      if (!write_all(*slot, reinterpret_cast<const Byte*>(&hello),
-                     sizeof hello)) {
-        ::close(fd);
-        outgoing_.erase({to, lane});
-        return false;
-      }
+      slot = std::move(fresh);
     }
     conn = slot.get();
   }

@@ -47,6 +47,13 @@ class TcpTransport final : public Transport {
   /// Returns false if the listen socket could not be created.
   bool start();
 
+  /// Tunes the bounded connect retry (see connect_with_retry). Call before
+  /// traffic starts; tests shrink the schedule to keep failures fast.
+  void set_connect_retry(int attempts, std::uint32_t base_delay_ms) {
+    connect_attempts_ = attempts;
+    connect_base_delay_ms_ = base_delay_ms;
+  }
+
   void register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) override;
   bool send(crypto::KeyNodeId to, LaneId lane, Bytes frame) override;
   void shutdown() override;
@@ -66,6 +73,7 @@ class TcpTransport final : public Transport {
   };
 
   int connect_to(const TcpPeer& peer);
+  int connect_with_retry(const TcpPeer& peer);
   static bool write_all(const OutConn& conn, const Byte* data,
                         std::size_t len);
   void accept_loop(int listen_fd);
@@ -85,6 +93,12 @@ class TcpTransport final : public Transport {
   int listen_fd_ COP_GUARDED_BY(mutex_) = -1;
   bool stopping_ COP_GUARDED_BY(mutex_) = false;
   std::jthread accept_thread_;
+
+  // Connect retry schedule: up to `connect_attempts_` tries, exponential
+  // backoff from `connect_base_delay_ms_` with ±25% jitter. Set before
+  // start(); not guarded because they are configuration, not shared state.
+  int connect_attempts_ = 5;
+  std::uint32_t connect_base_delay_ms_ = 10;
 };
 
 }  // namespace copbft::transport

@@ -176,6 +176,67 @@ TEST(Byzantine, CheckpointNeedsMatchingQuorum) {
   EXPECT_EQ(core.stable_seq(), target);
 }
 
+// ---- built-in adversary shim (scenario engine) --------------------------
+//
+// The AdversaryConfig hooks in PbftCore drive the Byzantine scenario
+// campaigns; these tests pin their mechanics at the core level.
+
+/// Equivocation splits the peers into disjoint halves with conflicting
+/// pre-prepares. With the commit quorum unreachable for either variant,
+/// nothing may deliver — and the counter must record the attack.
+TEST(Byzantine, ConfiguredEquivocationSplitsPeersAndCannotCommit) {
+  ProtocolConfig cfg = byz_config();
+  cfg.adversary.replica = 0;
+  cfg.adversary.equivocate = true;
+  PillarGroupHarness h({cfg});
+
+  h.client_request(1001, 1, to_bytes("x"), {0});
+  h.run_until_quiescent();
+
+  EXPECT_EQ(h.core(0).stats().adversary_equivocations, 1u);
+  // Peer 1 prepared the real batch, peers 2/3 the no-op decoy: neither
+  // side reaches 2f+1 commits, so no replica may deliver anything.
+  for (ReplicaId r = 0; r < 4; ++r)
+    EXPECT_TRUE(h.delivered(r).empty()) << "replica " << r;
+}
+
+/// Selective omission towards a minority: the withheld votes must be
+/// counted, and the remaining quorums must still commit everywhere.
+TEST(Byzantine, ConfiguredOmissionPreservesLiveness) {
+  ProtocolConfig cfg = byz_config();
+  cfg.adversary.replica = 1;
+  cfg.adversary.omit_votes_to = {2, 3};
+  PillarGroupHarness h({cfg});
+
+  h.client_request(1001, 1, to_bytes("x"));
+  h.run_until_quiescent();
+
+  // One prepare + one commit suppressed towards each of the two targets.
+  EXPECT_GE(h.core(1).stats().adversary_omissions, 4u);
+  // 2f prepares / 2f+1 commits stay reachable without replica 1's votes.
+  for (ReplicaId r : {0u, 2u, 3u}) {
+    ASSERT_EQ(h.delivered(r).size(), 1u) << "replica " << r;
+    EXPECT_EQ(to_string(h.delivered(r)[0].requests.at(0).payload), "x");
+  }
+}
+
+/// A time-bounded adversary is honest outside its window.
+TEST(Byzantine, AdversaryWindowExpires) {
+  ProtocolConfig cfg = byz_config();
+  cfg.adversary.replica = 0;
+  cfg.adversary.equivocate = true;
+  cfg.adversary.until_us = 50;
+  PillarGroupHarness h({cfg});
+
+  h.advance_time(100);  // past the window
+  h.client_request(1001, 1, to_bytes("x"), {0});
+  h.run_until_quiescent();
+
+  EXPECT_EQ(h.core(0).stats().adversary_equivocations, 0u);
+  for (ReplicaId r = 0; r < 4; ++r)
+    ASSERT_EQ(h.delivered(r).size(), 1u) << "replica " << r;
+}
+
 /// Requests with broken client MACs never enter the pipeline.
 TEST(Byzantine, ForgedClientRequestsRejected) {
   // Use a real-crypto core for this one.

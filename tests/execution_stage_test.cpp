@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 
 #include "app/null_service.hpp"
+#include "common/invariant.hpp"
 #include "core/execution_stage.hpp"
 #include "support/fake_transport.hpp"
 
@@ -392,6 +394,95 @@ TEST_F(ExecutionStageTest, FallsBackInlineWhenPillarRejects) {
   ByteSpan body{sent[0].frame.data(), decoded->body_size};
   EXPECT_TRUE(reply.auth.verify(*crypto_, replica_node(1),
                                 client_node(1001), body));
+}
+
+// ---- reorder ring under adversarial sequence patterns -------------------
+//
+// window=40 sizes the ring at 128 slots (2·window+2 rounded up to a power
+// of two), so seqs 2 and 130 share slot 2. A Byzantine pillar — or a
+// stale stable_basis after state transfer — can legally present both.
+
+std::atomic<std::uint64_t> g_invariant_fires{0};
+void count_invariant(const InvariantViolation&) {
+  g_invariant_fires.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST_F(ExecutionStageTest, SlotCollisionDropsHigherSeqAndCounts) {
+  start(ReplyMode::kAll, /*pillars=*/1);
+  stage_->submit(batch(2, {20}));    // parked: seq 1 missing
+  stage_->submit(batch(130, {13}));  // 130 & 127 == 2: collides
+  ASSERT_TRUE(wait_stats(
+      [](const ExecutionStats& s) { return s.reorder_slot_drops >= 1; }));
+
+  // The lower seq executes first, so it is the one kept; 130 is dropped
+  // and gap detection would re-fetch it later.
+  stage_->submit(batch(1, {10}));
+  ASSERT_TRUE(wait_replies(2));
+  stage_->stop();
+  ExecutionStats stats = stage_->stats();
+  EXPECT_EQ(stats.reorder_slot_drops, 1u);
+  EXPECT_EQ(stats.requests_executed, 2u) << "collided 130 must not execute";
+  EXPECT_EQ(stats.last_executed_seq, 2u);
+}
+
+TEST_F(ExecutionStageTest, SlotCollisionEvictsHigherSeqOccupant) {
+  start(ReplyMode::kAll, /*pillars=*/1);
+  // Reverse arrival order: the higher seq occupies the slot first and must
+  // be evicted in favour of the lower one.
+  stage_->submit(batch(130, {13}));
+  stage_->submit(batch(2, {20}));
+  ASSERT_TRUE(wait_stats(
+      [](const ExecutionStats& s) { return s.reorder_slot_drops >= 1; }));
+
+  stage_->submit(batch(1, {10}));
+  ASSERT_TRUE(wait_replies(2));
+  stage_->stop();
+  auto sent = transport_.take_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(std::get<Reply>(decode_message(sent[1].frame)->msg).id, 20u)
+      << "seq 2 survived the eviction and executed";
+  EXPECT_EQ(stage_->stats().requests_executed, 2u);
+}
+
+TEST_F(ExecutionStageTest, DriftAtBoundAdmittedOnePastBoundFires) {
+  g_invariant_fires.store(0);
+  InvariantHandler prev = set_invariant_handler(&count_invariant);
+  start(ReplyMode::kAll, /*pillars=*/1);
+
+  // Exactly at the drift bound: seq = stable_basis + window is legal.
+  CommittedBatch at_bound = batch(41, {41});
+  at_bound.stable_basis = 1;
+  stage_->submit(std::move(at_bound));
+  // One past the bound violates §3.4's checkpoint-window drift invariant.
+  CommittedBatch past_bound = batch(42, {42});
+  past_bound.stable_basis = 1;
+  stage_->submit(std::move(past_bound));
+  ASSERT_TRUE(wait_stats([](const ExecutionStats&) {
+    return g_invariant_fires.load() >= 1;
+  }));
+  stage_->stop();
+  set_invariant_handler(prev);
+  EXPECT_EQ(g_invariant_fires.load(), 1u) << "at-bound batch must not fire";
+}
+
+TEST_F(ExecutionStageTest, SequentialWrapAroundExecutesEverything) {
+  start(ReplyMode::kAll, /*pillars=*/1);
+  // 300 seqs > 2 full ring revolutions (128 slots): steady in-order flow
+  // must reuse slots without collisions or drops. Submit in chunks smaller
+  // than the ring and let execution drain between them — a single burst
+  // would outrun the frontier and make collisions legal.
+  constexpr SeqNum kTotal = 300;
+  constexpr SeqNum kChunk = 100;
+  for (SeqNum s = 1; s <= kTotal; ++s) {
+    stage_->submit(batch(s, {static_cast<RequestId>(s)}));
+    if (s % kChunk == 0) ASSERT_TRUE(wait_replies(s, /*ms=*/10'000)) << s;
+  }
+  ASSERT_TRUE(wait_replies(kTotal, /*ms=*/10'000));
+  stage_->stop();
+  ExecutionStats stats = stage_->stats();
+  EXPECT_EQ(stats.requests_executed, kTotal);
+  EXPECT_EQ(stats.last_executed_seq, kTotal);
+  EXPECT_EQ(stats.reorder_slot_drops, 0u);
 }
 
 TEST_F(ExecutionStageTest, RepliesCarryVerifiableMac) {

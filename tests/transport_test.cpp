@@ -187,6 +187,61 @@ TEST_F(TcpTest, SendAfterShutdownFails) {
   EXPECT_FALSE(a_->send(2, 0, to_bytes("x")));
 }
 
+// ---- connect retry ----------------------------------------------------
+
+// Replicas boot in arbitrary order: the first sender often races the
+// peer's listen(). The bounded backoff in connect_with_retry must bridge a
+// listener that shows up tens of milliseconds late.
+TEST(TcpConnectRetry, BridgesLateListener) {
+  std::uint16_t port = pick_port(46000);
+  std::map<crypto::KeyNodeId, TcpPeer> peers;
+  peers[2] = {"127.0.0.1", port};
+
+  TcpTransport sender(1, /*listen_port=*/0, peers);
+  sender.set_connect_retry(/*attempts=*/8, /*base_delay_ms=*/10);
+  ASSERT_TRUE(sender.start());
+
+  std::unique_ptr<TcpTransport> listener;
+  auto inbox = std::make_shared<Inbox>();
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    listener = std::make_unique<TcpTransport>(2, port, peers);
+    listener->register_sink(0, inbox);
+    ASSERT_TRUE(listener->start());
+  });
+
+  // Issued while nothing is listening yet; must ride the retry schedule.
+  bool sent = sender.send(2, 0, to_bytes("early"));
+  late.join();
+  EXPECT_TRUE(sent);
+  auto frame = inbox->queue().pop_for(std::chrono::microseconds(2'000'000));
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(to_string(frame->bytes), "early");
+
+  sender.shutdown();
+  if (listener) listener->shutdown();
+}
+
+// The retry is bounded: with no listener ever appearing, send() must give
+// up after the configured attempts instead of spinning forever.
+TEST(TcpConnectRetry, GivesUpAfterBoundedAttempts) {
+  std::uint16_t port = pick_port(46500);
+  std::map<crypto::KeyNodeId, TcpPeer> peers;
+  peers[2] = {"127.0.0.1", port};
+
+  TcpTransport sender(1, /*listen_port=*/0, peers);
+  sender.set_connect_retry(/*attempts=*/3, /*base_delay_ms=*/5);
+  ASSERT_TRUE(sender.start());
+
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(sender.send(2, 0, to_bytes("void")));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  // 3 attempts → 2 sleeps of ≤ ~7 ms + ~13 ms (base·1.25, 2·base·1.25);
+  // anything near a second means the bound is broken.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(800));
+  sender.shutdown();
+}
+
 // ---- EINTR robustness -------------------------------------------------
 
 extern "C" void eintr_noop_handler(int) {}
