@@ -84,7 +84,7 @@ bool Client::invoke_async(Bytes payload, std::uint8_t flags, Callback done) {
   {
     CvLock lock(mutex_);
     while (!stopped_ && pending_.size() >= config_.window)
-      window_open_.wait(lock.native());
+      window_open_.wait(lock);
     if (stopped_) return false;
 
     id = next_id_++;
@@ -130,7 +130,7 @@ std::optional<Bytes> Client::invoke(Bytes payload, std::uint8_t flags) {
 void Client::drain() {
   CvLock lock(mutex_);
   while (!stopped_ && !(pending_.empty() && callbacks_in_flight_ == 0))
-    window_open_.wait(lock.native());
+    window_open_.wait(lock);
 }
 
 void Client::run() {

@@ -7,7 +7,6 @@
 // replies from distinct replicas.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <map>
@@ -124,7 +123,7 @@ class Client {
   std::jthread thread_;
 
   mutable Mutex mutex_;
-  std::condition_variable window_open_;
+  Cv window_open_;
   std::unordered_map<protocol::RequestId, Pending> pending_
       COP_GUARDED_BY(mutex_);
   protocol::RequestId next_id_ COP_GUARDED_BY(mutex_) = 1;

@@ -1,0 +1,20 @@
+// Hot-path marker.
+//
+// COP_HOT tags the functions on the request fast path: pillar ingest,
+// execution-stage drain, the reorder ring, and outbound reply sealing.
+// It has two consumers:
+//   * the compiler: expands to [[gnu::hot]] so gcc/clang optimize and
+//     lay out marked functions accordingly;
+//   * tools/coplint: inside a COP_HOT function body the hot-path hygiene
+//     rules apply — no std::map/std::list, no mutex acquisition, no
+//     sleeps/condition-variable waits, no <iostream> (see
+//     docs/static_analysis.md).
+// Marking a function is a claim that it runs per-request at full load;
+// coplint then keeps that claim honest as the code evolves.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define COP_HOT __attribute__((hot))
+#else
+#define COP_HOT
+#endif

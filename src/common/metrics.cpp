@@ -202,7 +202,7 @@ void MetricsDumper::run() {
   while (!done) {
     {
       CvLock lock(mutex_);
-      if (!stopping_) cv_.wait_for(lock.native(), interval);
+      if (!stopping_) cv_.wait_for(lock, interval);
       done = stopping_;
     }
     // Written even on the stop turn: short-lived processes get one

@@ -246,7 +246,7 @@ class MetricsDumper {
   const std::string path_;
   const std::uint64_t interval_ms_;
   Mutex mutex_;
-  std::condition_variable cv_;
+  Cv cv_;
   bool stopping_ COP_GUARDED_BY(mutex_) = false;
   std::jthread thread_;
 };

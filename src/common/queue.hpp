@@ -45,7 +45,7 @@ class BoundedQueue {
     CvLock lock(mutex_);
     if (!closed_ && items_.size() >= capacity_ && blocked_pushes_)
       blocked_pushes_->add();
-    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock.native());
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(value));
     publish_depth();
@@ -83,7 +83,7 @@ class BoundedQueue {
   /// Blocking pop; nullopt iff closed and drained.
   std::optional<T> pop() {
     CvLock lock(mutex_);
-    while (!closed_ && items_.empty()) not_empty_.wait(lock.native());
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -98,7 +98,7 @@ class BoundedQueue {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     CvLock lock(mutex_);
     while (!closed_ && items_.empty()) {
-      if (not_empty_.wait_until(lock.native(), deadline) ==
+      if (not_empty_.wait_until(lock, deadline) ==
           std::cv_status::timeout)
         break;
     }
@@ -127,7 +127,7 @@ class BoundedQueue {
   /// or close). Reduces wake-ups for batch-style consumers.
   std::deque<T> pop_all() {
     CvLock lock(mutex_);
-    while (!closed_ && items_.empty()) not_empty_.wait(lock.native());
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     std::deque<T> out;
     out.swap(items_);
     publish_depth();
@@ -165,8 +165,8 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   mutable Mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  Cv not_empty_;
+  Cv not_full_;
   std::deque<T> items_ COP_GUARDED_BY(mutex_);
   bool closed_ COP_GUARDED_BY(mutex_) = false;
   metrics::Gauge* depth_gauge_ COP_GUARDED_BY(mutex_) = nullptr;

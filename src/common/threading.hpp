@@ -8,6 +8,7 @@
 
 #include <pthread.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -72,6 +73,37 @@ class COP_SCOPED_CAPABILITY CvLock {
 
  private:
   std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/CvLock. Waiting goes through the
+/// CvLock so call sites never touch the unannotated native handles; from
+/// the thread-safety analysis' perspective the capability stays held
+/// across a wait, which matches what the waiting code may assume.
+class Cv {
+ public:
+  Cv() = default;
+  Cv(const Cv&) = delete;
+  Cv& operator=(const Cv&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(CvLock& lock) { cv_.wait(lock.native()); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(CvLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.native(), dur);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      CvLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.native(), tp);
+  }
+
+ private:
+  std::condition_variable cv_;
 };
 
 /// Sets the current thread's name (visible in /proc, debuggers, perf).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/invariant.hpp"
+#include "common/hot.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
 #include "common/trace.hpp"
@@ -53,24 +54,26 @@ std::size_t ring_slots(std::uint64_t window) {
 ExecutionStage::ReorderRing::ReorderRing(std::uint64_t window)
     : slots_(ring_slots(window)), mask_(slots_.size() - 1) {}
 
-CommittedBatch* ExecutionStage::ReorderRing::find(protocol::SeqNum seq) {
+COP_HOT CommittedBatch* ExecutionStage::ReorderRing::find(
+    protocol::SeqNum seq) {
   auto& cell = slots_[slot(seq)];
   if (cell && cell->seq == seq) return &*cell;
   return nullptr;
 }
 
-CommittedBatch* ExecutionStage::ReorderRing::occupant(protocol::SeqNum seq) {
+COP_HOT CommittedBatch* ExecutionStage::ReorderRing::occupant(
+    protocol::SeqNum seq) {
   auto& cell = slots_[slot(seq)];
   return cell ? &*cell : nullptr;
 }
 
-void ExecutionStage::ReorderRing::insert(CommittedBatch batch) {
+COP_HOT void ExecutionStage::ReorderRing::insert(CommittedBatch batch) {
   auto& cell = slots_[slot(batch.seq)];
   cell.emplace(std::move(batch));
   ++count_;
 }
 
-void ExecutionStage::ReorderRing::erase(protocol::SeqNum seq) {
+COP_HOT void ExecutionStage::ReorderRing::erase(protocol::SeqNum seq) {
   auto& cell = slots_[slot(seq)];
   if (cell && cell->seq == seq) {
     cell.reset();
@@ -188,7 +191,7 @@ void ExecutionStage::admit_input(Input input) {
   }
 }
 
-void ExecutionStage::admit(CommittedBatch batch) {
+COP_HOT void ExecutionStage::admit(CommittedBatch batch) {
   const std::uint32_t np = config_.num_pillars;
   COP_INVARIANT(batch.seq != 0,
                 "sequence number 0 is genesis and must never commit "
@@ -240,7 +243,7 @@ void ExecutionStage::admit(CommittedBatch batch) {
   m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
 }
 
-void ExecutionStage::apply_ready() {
+COP_HOT void ExecutionStage::apply_ready() {
   while (true) {
     const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
     CommittedBatch* batch = reorder_.find(next);
@@ -258,7 +261,7 @@ void ExecutionStage::apply_ready() {
   }
 }
 
-void ExecutionStage::execute_batch(const CommittedBatch& batch) {
+COP_HOT void ExecutionStage::execute_batch(const CommittedBatch& batch) {
   m_batches_executed_.add();
   n_batches_executed_.add();
   if (!batch.requests || batch.requests->empty()) {
@@ -295,7 +298,8 @@ void ExecutionStage::record_executed(ClientState& state,
   }
 }
 
-void ExecutionStage::execute_request(const protocol::Request& request,
+COP_HOT void ExecutionStage::execute_request(
+    const protocol::Request& request,
                                      const CommittedBatch& batch,
                                      std::uint32_t index) {
   ClientState& state = clients_[request.client];
@@ -355,7 +359,7 @@ void ExecutionStage::execute_request(const protocol::Request& request,
   emit_reply(std::move(task));
 }
 
-void ExecutionStage::emit_reply(ReplyTask task) {
+COP_HOT void ExecutionStage::emit_reply(ReplyTask task) {
   // Counted at emission — offloaded or inline — so exec.replies_sent
   // covers every reply exactly once wherever it is sealed.
   m_replies_sent_.add();
@@ -428,6 +432,7 @@ void ExecutionStage::check_gap(std::uint64_t now) {
 Bytes ExecutionStage::encode_client_table() const {
   std::vector<protocol::ClientId> ids;
   ids.reserve(clients_.size());
+  // COPLINT(allow:det-unordered-iter: only ids are collected and sorted below; the encoding never sees map order)
   for (const auto& [id, state] : clients_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
 
@@ -526,6 +531,7 @@ void ExecutionStage::handle_install(InstallState install) {
   if (artifact->composite_digest(crypto_) != install.digest) return reject();
   // Parse the client table into scratch state before touching anything, so
   // a torn install is impossible; the service restore is atomic itself.
+  // COPLINT(allow:det-unordered-member: scratch table mirroring clients_; filled by keyed insert and moved, never iterated)
   std::unordered_map<protocol::ClientId, ClientState> clients;
   if (!decode_client_table(artifact->client_table, clients)) return reject();
   if (!service_.restore(artifact->service_snapshot, artifact->service_digest))

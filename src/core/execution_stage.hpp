@@ -134,10 +134,12 @@ class ExecutionStage {
     protocol::RequestId max_done = 0;
     /// Executed ids above the pruning floor (async windows commit out of
     /// order within a client).
+    // COPLINT(allow:det-unordered-member: lookup-only dedup set; pruning walks ids numerically from max_done, never by iteration)
     std::unordered_set<protocol::RequestId> done;
     /// Recent replies for retransmission handling: eviction order (oldest
     /// first) plus an id -> reply index for O(1) lookup.
     std::deque<protocol::RequestId> reply_order;
+    // COPLINT(allow:det-unordered-member: lookup-only cache; eviction order comes from reply_order, a deque)
     std::unordered_map<protocol::RequestId, CachedReply> replies;
   };
 
@@ -215,6 +217,7 @@ class ExecutionStage {
   // the stage thread; the cross-thread hand-off is the queue itself.
   ReorderRing reorder_;
   std::atomic<protocol::SeqNum> next_seq_{1};
+  // COPLINT(allow:det-unordered-member: per-request access is keyed lookup; the one iteration (encode_client_table) sorts ids before serializing)
   std::unordered_map<protocol::ClientId, ClientState> clients_;
   /// Highest checkpoint installed via state transfer; execution and later
   /// installs must never regress below it.

@@ -1,10 +1,11 @@
 #include "core/outbound.hpp"
 
+#include "common/hot.hpp"
 #include "protocol/wire.hpp"
 
 namespace copbft::core {
 
-Bytes seal_message(protocol::Message& msg,
+COP_HOT Bytes seal_message(protocol::Message& msg,
                    const crypto::CryptoProvider& crypto,
                    crypto::KeyNodeId self,
                    const std::vector<crypto::KeyNodeId>& recipients) {

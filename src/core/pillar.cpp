@@ -1,6 +1,7 @@
 #include "core/pillar.hpp"
 
 #include "common/invariant.hpp"
+#include "common/hot.hpp"
 #include "common/logging.hpp"
 #include "common/time.hpp"
 #include "common/trace.hpp"
@@ -100,7 +101,7 @@ void Pillar::publish_stats() {
   stats_snapshot_ = core_.stats();
 }
 
-void Pillar::handle_frame(transport::ReceivedFrame& frame) {
+COP_HOT void Pillar::handle_frame(transport::ReceivedFrame& frame) {
   m_frames_in_.add();
   auto decoded = protocol::decode_message(frame.bytes);
   if (!decoded) {
@@ -119,7 +120,7 @@ void Pillar::handle_frame(transport::ReceivedFrame& frame) {
   core_.on_message(std::move(im), now_us());
 }
 
-void Pillar::handle_prepared(PreparedInput& input) {
+COP_HOT void Pillar::handle_prepared(PreparedInput& input) {
   if (auto* req = std::get_if<protocol::Request>(&input.im.msg)) {
     feed_request(std::move(*req), input.im.pre_verified);
     return;
@@ -127,7 +128,7 @@ void Pillar::handle_prepared(PreparedInput& input) {
   core_.on_message(std::move(input.im), now_us());
 }
 
-void Pillar::process_reply(ReplyTask task) {
+COP_HOT void Pillar::process_reply(ReplyTask task) {
   // Offloaded post-execution (paper §4.3.2): the non-sequential tail of a
   // request — post_process, Reply construction, MAC sealing, egress —
   // runs here, in parallel across the NP pillar threads, instead of
@@ -148,7 +149,7 @@ void Pillar::process_reply(ReplyTask task) {
                   std::move(frame));
 }
 
-void Pillar::feed_request(protocol::Request req, bool verified) {
+COP_HOT void Pillar::feed_request(protocol::Request req, bool verified) {
   // Offloaded pre-execution (paper §4.3.1): reject malformed operations
   // before they consume an ordering slot.
   if (service_ && !service_->pre_validate(req)) return;
@@ -182,7 +183,7 @@ void Pillar::handle_command(const PillarCommand& command) {
   }
 }
 
-void Pillar::drain_effects() {
+COP_HOT void Pillar::drain_effects() {
   for (protocol::Effect& effect : core_.take_effects()) {
     if (auto* bc = std::get_if<protocol::Broadcast>(&effect)) {
       outbound_.broadcast(std::move(bc->msg), index_);

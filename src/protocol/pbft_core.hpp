@@ -269,12 +269,15 @@ class PbftCore {
   std::map<SeqNum, CheckpointState> checkpoints_;
 
   std::deque<Request> pending_;
+  // COPLINT(allow:det-unordered-member: lookup-only dedup set; never iterated — proposal order comes from pending_, a deque)
   std::unordered_set<std::uint64_t> pending_keys_;
   /// Requests already assigned to an instance (pre-prepare seen); prevents
   /// re-proposing. Cleared per instance at checkpoint GC.
+  // COPLINT(allow:det-unordered-member: lookup-only membership set (contains/insert/erase); never iterated)
   std::unordered_set<std::uint64_t> ordered_keys_;
   /// Requests whose client MAC this replica has already checked (direct
   /// receipt); lets followers skip re-verifying them inside proposals.
+  // COPLINT(allow:det-unordered-member: lookup-only membership set (contains/insert/erase); never iterated)
   std::unordered_set<std::uint64_t> verified_keys_;
 
   std::uint64_t now_us_ = 0;

@@ -189,6 +189,7 @@ class LinkModel {
   SimTime default_latency_ns_;
   SimTime jitter_ns_;
   Rng rng_;
+  // COPLINT(allow:det-unordered-member: latency overrides read by keyed lookup per delivery; never iterated)
   std::unordered_map<std::uint64_t, SimTime> links_;
   std::vector<PartitionSpec> partitions_;
 };

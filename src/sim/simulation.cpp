@@ -88,6 +88,7 @@ struct World {
 
   /// Cross-replica execution fork oracle: content hash of every executed
   /// sequence number, checked across correct replicas.
+  // COPLINT(allow:det-unordered-member: oracle checked by seq lookup at each execution; never iterated)
   std::unordered_map<std::uint64_t, std::uint64_t> executed_hash;
   std::uint64_t fork_detections = 0;
 
@@ -338,6 +339,7 @@ struct ClientFleet {
     std::uint32_t machine = 0;
     std::uint32_t thread = 0;
     RequestId next_id = 1;
+    // COPLINT(allow:det-unordered-member: replies resolve by keyed erase; completion order is reply arrival, not map order)
     std::unordered_map<RequestId, Op> outstanding;
   };
 

@@ -246,9 +246,10 @@ bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
         fd, registry.counter(lane_metric(self_, lane, "tx_frames")),
         registry.counter(lane_metric(self_, lane, "tx_bytes")));
     Hello hello{self_, lane};
-    // Not yet published: no writer contention on the hello.
-    if (!write_all(*fresh, reinterpret_cast<const Byte*>(&hello),
-                   sizeof hello)) {
+    // Not yet published: no writer contention on the hello, so the plain
+    // fd write is safe without fresh->write_mutex.
+    if (!write_all_fd(fresh->fd, reinterpret_cast<const Byte*>(&hello),
+                      sizeof hello)) {
       ::close(fd);
       return false;
     }

@@ -75,7 +75,7 @@ class TcpTransport final : public Transport {
   int connect_to(const TcpPeer& peer);
   int connect_with_retry(const TcpPeer& peer);
   static bool write_all(const OutConn& conn, const Byte* data,
-                        std::size_t len);
+                        std::size_t len) COP_REQUIRES(conn.write_mutex);
   void accept_loop(int listen_fd);
   void recv_loop(int fd);
   std::shared_ptr<FrameSink> sink_for(LaneId lane);

@@ -1,0 +1,12 @@
+// coplint fixture: exactly two justified suppressions. baseline_ok.json
+// budgets both; baseline_tight.json budgets one, so the same tree must
+// fail the gate. Scanned by the coplint tests, never compiled.
+#include <unordered_map>
+
+class Budget {
+ private:
+  // COPLINT(allow:det-unordered-member: lookup-only table, fixture)
+  std::unordered_map<int, int> a_;
+  // COPLINT(allow:det-unordered-member: lookup-only table, fixture)
+  std::unordered_map<int, int> b_;
+};

@@ -1,0 +1,13 @@
+// coplint fixture: annotation-coverage rules. The covered_ mutex shows
+// what passing looks like. Scanned by the coplint tests, never compiled.
+#include <condition_variable>
+#include <mutex>
+
+class BadAnnotations {
+ private:
+  std::mutex raw_;                  // ann-raw-mutex
+  std::condition_variable raw_cv_;  // ann-raw-cv
+  Mutex naked_;                     // ann-unguarded-mutex: guards nothing
+  Mutex covered_;                   // fine: guarded_value_ names it
+  int guarded_value_ COP_GUARDED_BY(covered_) = 0;
+};

@@ -1,0 +1,47 @@
+// coplint fixture: one seeded violation per determinism rule, plus the
+// suppression mechanics (valid, missing-reason, unknown-rule, unused).
+// This file is scanned by the coplint tests, never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Widget;
+
+class BadDeterminism {
+ public:
+  long stamp() {
+    // det-clock
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  int roll() {
+    return std::rand();  // det-rng
+  }
+
+  long total() const {
+    long sum = 0;
+    for (const auto& [id, count] : tallies_) sum += count;  // det-unordered-iter
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, long> tallies_;  // det-unordered-member
+  std::map<Widget*, int> by_widget_;       // det-pointer-key
+
+  // A valid suppression: rule and reason, anchored to the next code line.
+  // COPLINT(allow:det-unordered-member: lookup-only cache, fixture)
+  std::unordered_map<int, int> cache_;
+
+  // Missing reason: the suppression is rejected AND the finding stays.
+  // COPLINT(allow:det-unordered-member)
+  std::unordered_map<int, int> no_reason_;
+
+  // Unknown rule: rejected, and the real finding stays unsuppressed.
+  // COPLINT(allow:not-a-rule: reasons do not rescue unknown rules)
+  std::unordered_map<int, int> unknown_rule_;
+
+  // Nothing on the next line trips det-clock: the suppression is stale.
+  // COPLINT(allow:det-clock: the clock this excused is long gone)
+  long counter_ = 0;
+};

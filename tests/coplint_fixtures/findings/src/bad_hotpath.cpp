@@ -1,0 +1,26 @@
+// coplint fixture: hot-path hygiene rules. COP_HOT is the scanner's
+// marker; the identical-looking cold function proves region scoping.
+// This file is scanned by the coplint tests, never compiled.
+#include <iostream>  // hot-iostream: banned include in a hot-path file
+#include <map>
+
+class Ring {
+ public:
+  COP_HOT int drain() {
+    std::map<int, int> staging;              // hot-container
+    MutexLock lock(mu_);                     // hot-lock
+    cv_.wait(lock);                          // hot-block
+    std::cout << staging.size() << "\n";     // hot-iostream
+    return queue_depth_;
+  }
+
+  int cold() {
+    std::map<int, int> fine;  // no finding: not inside a COP_HOT body
+    return static_cast<int>(fine.size());
+  }
+
+ private:
+  Mutex mu_;
+  int queue_depth_ COP_GUARDED_BY(mu_) = 0;
+  Cv cv_;
+};

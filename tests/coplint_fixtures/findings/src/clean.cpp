@@ -1,0 +1,18 @@
+// coplint fixture: a file with nothing to report — ordered containers,
+// no clocks, no raw primitives. Keeps the expected file honest about
+// what does NOT fire. Scanned by the coplint tests, never compiled.
+#include <map>
+#include <vector>
+
+class Clean {
+ public:
+  int sum() const {
+    int total = 0;
+    for (const auto& [k, v] : ordered_) total += v;  // ordered: fine
+    return total;
+  }
+
+ private:
+  std::map<int, int> ordered_;
+  std::vector<int> values_;
+};

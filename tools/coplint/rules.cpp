@@ -1,0 +1,608 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace coplint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+const std::vector<RuleInfo> kRules = {
+    // determinism — replay and cross-replica agreement must not depend on
+    // wall time, hashing seeds, or allocation addresses.
+    {"det-clock", "determinism",
+     "direct clock read outside common/time.hpp"},
+    {"det-rng", "determinism",
+     "non-deterministic randomness outside common/rng.hpp"},
+    {"det-unordered-member", "determinism",
+     "unordered container declared in a determinism scope"},
+    {"det-unordered-iter", "determinism",
+     "range-for over an unordered container"},
+    {"det-pointer-key", "determinism",
+     "pointer-keyed or address-hashed container"},
+    // hot-path hygiene — inside COP_HOT functions.
+    {"hot-container", "hotpath",
+     "node-based container on a hot path"},
+    {"hot-lock", "hotpath", "mutex acquisition on a hot path"},
+    {"hot-block", "hotpath",
+     "blocking call (sleep/wait/poll) on a hot path"},
+    {"hot-iostream", "hotpath", "<iostream> in a hot-path file"},
+    // annotation coverage — lock discipline must be visible to clang's
+    // thread-safety analysis.
+    {"ann-raw-mutex", "annotation",
+     "raw std::mutex instead of the annotated copbft::Mutex"},
+    {"ann-raw-cv", "annotation",
+     "raw std::condition_variable instead of copbft::Cv"},
+    {"ann-unguarded-mutex", "annotation",
+     "Mutex member with no COP_GUARDED_BY coverage"},
+    // lint — the suppression mechanism itself stays honest.
+    {"lint-bad-suppression", "lint",
+     "malformed suppression or unknown rule"},
+    {"lint-unused-suppression", "lint",
+     "suppression that matched no finding"},
+};
+
+const RuleInfo* rule_info(const std::string& id) {
+  for (const RuleInfo& r : kRules)
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Emission: scoping + suppression matching in one place.
+
+class Sink {
+ public:
+  Sink(const SourceFile& file, const Config& config,
+       std::vector<Finding>& out)
+      : file_(file), config_(config), out_(out) {}
+
+  void emit(int line, const std::string& rule, std::string message) {
+    const RuleInfo* info = rule_info(rule);
+    if (!config_.rule_enabled(rule, info ? info->family : "", file_.path()))
+      return;
+    Finding f;
+    f.file = file_.path();
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    for (const Suppression& s : file_.suppressions()) {
+      if (!s.malformed && s.anchor_line == line && s.rule == rule) {
+        s.used = true;
+        f.suppressed = true;
+        f.reason = s.reason;
+        break;
+      }
+    }
+    out_.push_back(std::move(f));
+  }
+
+ private:
+  const SourceFile& file_;
+  const Config& config_;
+  std::vector<Finding>& out_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared scanning helpers.
+
+struct TokenRule {
+  const char* token;
+  const char* what;  ///< short phrase naming the offender
+};
+
+void scan_tokens(const SourceFile& file, Sink& sink,
+                 const std::string& rule,
+                 const std::vector<TokenRule>& tokens,
+                 const std::string& advice, bool hot_only) {
+  const std::string& code = file.code();
+  for (const TokenRule& t : tokens) {
+    std::size_t pos = 0;
+    while ((pos = find_token(code, t.token, pos)) != std::string::npos) {
+      int line = file.line_of(pos);
+      if (!hot_only || file.line_is_hot(line))
+        sink.emit(line, rule, std::string(t.what) + ": " + advice);
+      pos += std::string(t.token).size();
+    }
+  }
+}
+
+/// Skips a balanced <...> template argument list starting at `pos` (which
+/// must point at '<'). Returns the offset one past the matching '>', or
+/// npos. `first_arg` receives the depth-1 text of the first argument.
+std::size_t skip_template_args(const std::string& code, std::size_t pos,
+                               std::string* first_arg) {
+  int depth = 0;
+  bool in_first = true;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    char c = code[i];
+    if (c == '<') {
+      ++depth;
+      if (depth == 1) continue;
+    } else if (c == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+      if (depth < 0) return std::string::npos;
+    } else if (c == ',' && depth == 1) {
+      in_first = false;
+    } else if (c == ';' || c == '{') {
+      return std::string::npos;  // not a template argument list after all
+    }
+    if (depth >= 1 && in_first && first_arg && !(depth == 1 && c == ','))
+      first_arg->push_back(c);
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos])))
+    ++pos;
+  return pos;
+}
+
+std::string read_ident(const std::string& code, std::size_t pos,
+                       std::size_t* end) {
+  std::size_t i = pos;
+  while (i < code.size() && ident_char(code[i])) ++i;
+  if (end) *end = i;
+  return code.substr(pos, i - pos);
+}
+
+struct ContainerKind {
+  const char* name;
+  bool unordered;
+  bool keyed;  ///< map/set family: first template arg is a key
+};
+
+const ContainerKind kContainers[] = {
+    {"unordered_map", true, true},   {"unordered_multimap", true, true},
+    {"unordered_set", true, true},   {"unordered_multiset", true, true},
+    {"map", false, true},            {"multimap", false, true},
+    {"set", false, true},            {"multiset", false, true},
+    {"vector", false, false},        {"deque", false, false},
+    {"list", false, false},          {"array", false, false},
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& all_rules() { return kRules; }
+
+bool known_rule(const std::string& id) { return rule_info(id) != nullptr; }
+
+std::vector<ContainerDecl> parse_container_decls(const SourceFile& file) {
+  std::vector<ContainerDecl> out;
+  const std::string& code = file.code();
+  for (const ContainerKind& kind : kContainers) {
+    std::size_t pos = 0;
+    while ((pos = find_token(code, kind.name, pos)) != std::string::npos) {
+      std::size_t after = pos + std::string(kind.name).size();
+      std::size_t lt = skip_ws(code, after);
+      if (lt >= code.size() || code[lt] != '<') {
+        pos = after;
+        continue;
+      }
+      std::string first_arg;
+      std::size_t close = skip_template_args(code, lt, &first_arg);
+      if (close == std::string::npos) {
+        pos = after;
+        continue;
+      }
+      ContainerDecl decl;
+      decl.line = file.line_of(pos);
+      decl.unordered = kind.unordered;
+
+      std::size_t i = skip_ws(code, close);
+      // `std::map<K,V>::iterator` — a nested type, not a declaration.
+      if (i + 1 < code.size() && code[i] == ':' && code[i + 1] == ':') {
+        pos = after;
+        continue;
+      }
+      while (i < code.size() && (code[i] == '&' || code[i] == '*')) {
+        decl.is_ref = true;
+        i = skip_ws(code, i + 1);
+      }
+      std::size_t end = i;
+      decl.ident = read_ident(code, i, &end);
+      if (!decl.ident.empty()) {
+        // `std::vector<T> f(...)` declares a function, not a container.
+        std::size_t next = skip_ws(code, end);
+        if (next < code.size() && code[next] == '(') decl.is_ref = true;
+        out.push_back(decl);
+      }
+
+      // Pointer-keyed containers order or hash by address — checked here
+      // for every keyed container regardless of whether an identifier
+      // follows (temporaries, typedefs, params all count).
+      std::string key = trim(first_arg);
+      if (kind.keyed && !key.empty() && key.back() == '*') {
+        ContainerDecl ptr = decl.ident.empty() ? ContainerDecl{} : decl;
+        ptr.line = file.line_of(pos);
+        ptr.ident = "*";  // sentinel consumed by the det-pointer-key rule
+        ptr.unordered = true;
+        out.push_back(ptr);
+      }
+      pos = close;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+
+namespace {
+
+void rule_det_clock(const SourceFile& file, Sink& sink) {
+  scan_tokens(
+      file, sink, "det-clock",
+      {{"steady_clock", "steady_clock"},
+       {"system_clock", "system_clock"},
+       {"high_resolution_clock", "high_resolution_clock"},
+       {"gettimeofday", "gettimeofday"},
+       {"clock_gettime", "clock_gettime"},
+       {"timespec_get", "timespec_get"},
+       {"localtime", "localtime"},
+       {"gmtime", "gmtime"}},
+      "direct clock read in a determinism scope; take `now_us` as a "
+      "parameter or use copbft::now_us() (common/time.hpp) so simulated "
+      "and real time stay swappable",
+      /*hot_only=*/false);
+}
+
+void rule_det_rng(const SourceFile& file, Sink& sink) {
+  scan_tokens(
+      file, sink, "det-rng",
+      {{"random_device", "std::random_device"},
+       {"mt19937", "std::mt19937"},
+       {"mt19937_64", "std::mt19937_64"},
+       {"minstd_rand", "minstd_rand"},
+       {"default_random_engine", "default_random_engine"},
+       {"rand", "rand()"},
+       {"srand", "srand()"},
+       {"drand48", "drand48()"},
+       {"lrand48", "lrand48()"},
+       {"random_shuffle", "std::random_shuffle"}},
+      "non-deterministic randomness in a determinism scope; use "
+      "copbft::Rng (common/rng.hpp), seeded from the scenario, so runs "
+      "replay bit-identically",
+      /*hot_only=*/false);
+}
+
+void rule_det_unordered(const SourceFile& file, const GlobalIndex& index,
+                        Sink& sink) {
+  const std::string& code = file.code();
+  std::vector<ContainerDecl> decls = parse_container_decls(file);
+
+  // File-local type table: a local declaration shadows the global index
+  // (e.g. a local std::map named like an unordered member elsewhere).
+  std::map<std::string, bool> local;  // ident -> unordered?
+  for (const ContainerDecl& d : decls) {
+    if (d.ident == "*") continue;
+    auto [it, inserted] = local.emplace(d.ident, d.unordered);
+    if (!inserted) it->second = it->second || d.unordered;
+  }
+
+  for (const ContainerDecl& d : decls) {
+    if (d.ident == "*") {
+      sink.emit(d.line, "det-pointer-key",
+                "pointer-keyed container: ordering/hashing follows "
+                "allocation addresses, which differ across runs and "
+                "replicas — key by a stable id instead");
+      continue;
+    }
+    if (d.unordered && !d.is_ref) {
+      sink.emit(d.line, "det-unordered-member",
+                "unordered container '" + d.ident +
+                    "' declared in a determinism scope: iteration order "
+                    "is unspecified — use an ordered container, or "
+                    "suppress with a written lookup-only justification");
+    }
+  }
+
+  // Range-for over anything known (here or anywhere in the scanned tree)
+  // to be an unordered container.
+  std::size_t pos = 0;
+  while ((pos = find_token(code, "for", pos)) != std::string::npos) {
+    std::size_t open = skip_ws(code, pos + 3);
+    pos += 3;
+    if (open >= code.size() || code[open] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos, close = std::string::npos;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      char c = code[i];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string::npos) {
+        const bool double_colon =
+            (i > 0 && code[i - 1] == ':') ||
+            (i + 1 < code.size() && code[i + 1] == ':');
+        if (!double_colon) colon = i;
+      }
+      if (c == ';') break;  // classic for loop
+    }
+    if (colon == std::string::npos || close == std::string::npos) continue;
+    std::string range = code.substr(colon + 1, close - colon - 1);
+    std::size_t j = 0;
+    while (j < range.size()) {
+      if (!ident_char(range[j])) {
+        ++j;
+        continue;
+      }
+      std::size_t end = j;
+      while (end < range.size() && ident_char(range[end])) ++end;
+      std::string ident = range.substr(j, end - j);
+      j = end;
+      if (ident == "auto" || ident == "const" || ident == "std") continue;
+      auto it = local.find(ident);
+      const bool unordered = it != local.end()
+                                 ? it->second
+                                 : index.unordered_idents.count(ident) > 0;
+      if (unordered) {
+        sink.emit(file.line_of(pos), "det-unordered-iter",
+                  "range-for over unordered container '" + ident +
+                      "': iteration order is unspecified and varies "
+                      "across libraries and runs — iterate a sorted copy "
+                      "or restructure");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hot-path hygiene
+
+void rule_hotpath(const SourceFile& file, Sink& sink) {
+  if (!file.has_hot_marker()) return;
+  scan_tokens(file, sink, "hot-container",
+              {{"std::map", "std::map"},
+               {"std::multimap", "std::multimap"},
+               {"std::list", "std::list"}},
+              "node-based container inside a COP_HOT function: per-node "
+              "allocation and pointer chasing on the fast path — use a "
+              "vector, ring, or flat structure",
+              /*hot_only=*/true);
+  scan_tokens(file, sink, "hot-lock",
+              {{"MutexLock", "MutexLock"},
+               {"CvLock", "CvLock"},
+               {"std::lock_guard", "std::lock_guard"},
+               {"std::unique_lock", "std::unique_lock"},
+               {"std::scoped_lock", "std::scoped_lock"},
+               {"std::shared_lock", "std::shared_lock"}},
+              "mutex acquisition inside a COP_HOT function: the fast "
+              "path must stay lock-free — hand off through a queue or "
+              "use single-writer atomics",
+              /*hot_only=*/true);
+  scan_tokens(
+      file, sink, "hot-block",
+      {{"sleep_for", "sleep_for"},
+       {"sleep_until", "sleep_until"},
+       {"sleep", "sleep"},
+       {"usleep", "usleep"},
+       {"nanosleep", "nanosleep"},
+       {"wait", "wait"},
+       {"wait_for", "wait_for"},
+       {"wait_until", "wait_until"},
+       {"epoll_wait", "epoll_wait"},
+       {"poll", "poll"},
+       {"select", "select"}},
+      "blocking call inside a COP_HOT function: the fast path must never "
+      "sleep or wait — blocking belongs in the stage loop, not per "
+      "request",
+      /*hot_only=*/true);
+  scan_tokens(file, sink, "hot-iostream",
+              {{"std::cout", "std::cout"},
+               {"std::cerr", "std::cerr"},
+               {"std::clog", "std::clog"},
+               {"std::endl", "std::endl"}},
+              "iostream inside a COP_HOT function: formatting plus a "
+              "global lock per call — use the COP_LOG_* macros off the "
+              "hot path",
+              /*hot_only=*/true);
+  // The include is flagged file-wide once any hot marker exists: pulling
+  // <iostream> into a hot-path TU drags in static init and invites use.
+  const std::string& code = file.code();
+  std::size_t pos = 0;
+  while ((pos = code.find("#include <iostream>", pos)) !=
+         std::string::npos) {
+    sink.emit(file.line_of(pos), "hot-iostream",
+              "#include <iostream> in a file with COP_HOT functions: use "
+              "the COP_LOG_* macros (common/logging.hpp) instead");
+    pos += 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// annotation coverage
+
+void rule_annotations(const SourceFile& file, Sink& sink) {
+  scan_tokens(file, sink, "ann-raw-mutex",
+              {{"std::mutex", "std::mutex"},
+               {"std::timed_mutex", "std::timed_mutex"},
+               {"std::recursive_mutex", "std::recursive_mutex"},
+               {"std::shared_mutex", "std::shared_mutex"}},
+              "raw standard mutex: use the annotated copbft::Mutex "
+              "(common/threading.hpp) so clang's thread-safety analysis "
+              "sees the capability",
+              /*hot_only=*/false);
+  scan_tokens(file, sink, "ann-raw-cv",
+              {{"std::condition_variable", "std::condition_variable"},
+               {"std::condition_variable_any",
+                "std::condition_variable_any"}},
+              "raw condition variable: use copbft::Cv with CvLock "
+              "(common/threading.hpp) so waits go through the annotated "
+              "lock",
+              /*hot_only=*/false);
+
+  // Every Mutex member must guard something visible: a mutex with no
+  // COP_GUARDED_BY/COP_REQUIRES coverage in its file protects nothing
+  // the analysis can check.
+  const std::string& code = file.code();
+  static const char* kAnnotations[] = {
+      "COP_GUARDED_BY",      "COP_PT_GUARDED_BY", "COP_REQUIRES",
+      "COP_REQUIRES_SHARED", "COP_ACQUIRE",       "COP_RELEASE",
+      "COP_EXCLUDES",        "COP_RETURN_CAPABILITY",
+      "COP_ASSERT_CAPABILITY"};
+  std::size_t pos = 0;
+  while ((pos = find_token(code, "Mutex", pos)) != std::string::npos) {
+    std::size_t i = skip_ws(code, pos + 5);
+    pos += 5;
+    std::size_t end = i;
+    std::string ident = read_ident(code, i, &end);
+    if (ident.empty() || ident == "mutable") continue;
+    end = skip_ws(code, end);
+    if (end >= code.size() || code[end] != ';') continue;  // not a member
+    bool covered = false;
+    for (const char* ann : kAnnotations) {
+      std::size_t a = 0;
+      while (!covered &&
+             (a = code.find(std::string(ann) + "(", a)) !=
+                 std::string::npos) {
+        std::size_t open = a + std::string(ann).size();
+        std::size_t close_paren = code.find(')', open);
+        if (close_paren == std::string::npos) break;
+        std::string args = code.substr(open + 1, close_paren - open - 1);
+        if (find_token(args, ident) != std::string::npos) covered = true;
+        a = close_paren;
+      }
+      if (covered) break;
+    }
+    if (!covered) {
+      sink.emit(file.line_of(pos - 5), "ann-unguarded-mutex",
+                "Mutex member '" + ident +
+                    "' has no COP_GUARDED_BY/COP_REQUIRES coverage in "
+                    "this file: annotate the data it protects so the "
+                    "thread-safety analysis can check the discipline");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lint: the suppression mechanism itself
+
+void rule_lint(const SourceFile& file, Sink& sink) {
+  for (const Suppression& s : file.suppressions()) {
+    if (s.malformed) {
+      sink.emit(s.comment_line, "lint-bad-suppression", s.reason);
+    } else if (!known_rule(s.rule)) {
+      sink.emit(s.comment_line, "lint-bad-suppression",
+                "suppression names unknown rule '" + s.rule + "'");
+    } else if (!s.used) {
+      sink.emit(s.comment_line, "lint-unused-suppression",
+                "suppression for '" + s.rule +
+                    "' matched no finding — stale suppressions hide "
+                    "future regressions; remove it");
+    }
+  }
+}
+
+}  // namespace
+
+void run_rules(const SourceFile& file, const GlobalIndex& index,
+               const Config& config, std::vector<Finding>& out) {
+  Sink sink(file, config, out);
+  rule_det_clock(file, sink);
+  rule_det_rng(file, sink);
+  rule_det_unordered(file, index, sink);
+  rule_hotpath(file, sink);
+  rule_annotations(file, sink);
+  rule_lint(file, sink);  // last: sees which suppressions went unused
+}
+
+// ---------------------------------------------------------------------------
+// Config
+
+Config Config::parse(const std::string& text, std::string* error) {
+  Config out;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;  // "" = everywhere
+  int lineno = 0;
+  auto normalize = [](std::string p) {
+    if (p.rfind("./", 0) == 0) p = p.substr(2);
+    while (!p.empty() && p.back() == '/') p.pop_back();
+    if (p == ".") p.clear();
+    return p;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = normalize(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string verb, arg;
+    ls >> verb >> arg;
+    if (verb == "exclude" && !arg.empty()) {
+      out.excludes_.push_back(normalize(arg));
+    } else if ((verb == "enable" || verb == "disable") && !arg.empty()) {
+      out.directives_.push_back(
+          Directive{section, arg, verb == "enable"});
+    } else if (error) {
+      *error = "config line " + std::to_string(lineno) +
+               ": expected [section], enable/disable <rule|family|all>, "
+               "or exclude <prefix>: " +
+               line;
+      return out;
+    }
+  }
+  // Longest prefix wins; ties resolved by file order (later wins). A
+  // stable sort by length makes one forward pass implement exactly that.
+  std::stable_sort(out.directives_.begin(), out.directives_.end(),
+                   [](const Directive& a, const Directive& b) {
+                     return a.prefix.size() < b.prefix.size();
+                   });
+  return out;
+}
+
+namespace {
+bool prefix_match(const std::string& path, const std::string& prefix) {
+  if (prefix.empty()) return true;
+  if (path == prefix) return true;
+  return path.size() > prefix.size() &&
+         path.compare(0, prefix.size(), prefix) == 0 &&
+         path[prefix.size()] == '/';
+}
+}  // namespace
+
+bool Config::excluded(const std::string& path) const {
+  for (const std::string& p : excludes_)
+    if (prefix_match(path, p)) return true;
+  return false;
+}
+
+bool Config::rule_enabled(const std::string& rule,
+                          const std::string& family,
+                          const std::string& path) const {
+  bool state = true;
+  for (const Directive& d : directives_) {
+    if (!prefix_match(path, d.prefix)) continue;
+    if (d.selector == "all" || d.selector == family || d.selector == rule)
+      state = d.enable;
+  }
+  return state;
+}
+
+}  // namespace coplint

@@ -1,0 +1,85 @@
+// coplint rule engine: rule registry, per-directory scoping, and the
+// three COP rule families (determinism, hot-path hygiene, annotation
+// coverage) plus the lint family that keeps suppressions honest.
+//
+// Adding a rule: give it an id ("<family>-<name>"), add it to kRules, and
+// implement it in rules.cpp against the SourceFile/GlobalIndex views. See
+// docs/static_analysis.md.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scan.hpp"
+
+namespace coplint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  ///< the suppression's reason, when suppressed
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* family;  ///< determinism | hotpath | annotation | lint
+  const char* summary;
+};
+
+/// Every rule the engine knows. Suppressions naming anything else are
+/// themselves findings (lint-bad-suppression).
+const std::vector<RuleInfo>& all_rules();
+bool known_rule(const std::string& id);
+
+/// Per-directory rule scoping. Directives come from a config file:
+///   exclude <path-prefix>          skip these files entirely
+///   [<path-prefix>]                start a section ("." = everywhere)
+///   enable <rule|family|all>
+///   disable <rule|family|all>
+/// For each rule and file, the longest matching prefix wins (ties: later
+/// directive wins). With no config every rule is enabled everywhere.
+class Config {
+ public:
+  static Config parse(const std::string& text, std::string* error);
+
+  bool excluded(const std::string& path) const;
+  bool rule_enabled(const std::string& rule, const std::string& family,
+                    const std::string& path) const;
+
+ private:
+  struct Directive {
+    std::string prefix;    ///< "" matches everything
+    std::string selector;  ///< rule id, family name, or "all"
+    bool enable = true;
+  };
+  std::vector<Directive> directives_;
+  std::vector<std::string> excludes_;
+};
+
+/// Cross-file knowledge built in a first pass over every scanned file.
+struct GlobalIndex {
+  /// Identifiers declared anywhere as std::unordered_{map,set}.
+  std::set<std::string> unordered_idents;
+};
+
+/// Declarations of standard containers found in one file.
+struct ContainerDecl {
+  int line = 0;
+  std::string ident;
+  bool unordered = false;
+  bool is_ref = false;  ///< reference/pointer declarator (param, alias)
+};
+std::vector<ContainerDecl> parse_container_decls(const SourceFile& file);
+
+/// Runs every (scoped-in) rule over `file`, appending findings and
+/// marking matched suppressions used. Suppression bookkeeping findings
+/// (lint-*) are included.
+void run_rules(const SourceFile& file, const GlobalIndex& index,
+               const Config& config, std::vector<Finding>& out);
+
+}  // namespace coplint

@@ -1,0 +1,299 @@
+#include "scan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace coplint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+SourceFile SourceFile::load(const std::string& abs_path,
+                            std::string rel_path) {
+  SourceFile out;
+  out.path_ = std::move(rel_path);
+
+  std::ifstream in(abs_path, std::ios::binary);
+  std::vector<std::string> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    raw.push_back(std::move(line));
+  }
+
+  out.strip(raw);
+  out.parse_directives(raw);
+  out.find_hot_regions();
+  return out;
+}
+
+// Blank comments and the *contents* of string/char literals (quotes are
+// kept so tokens do not merge across a removed literal). Handles //, /**/,
+// escapes, and raw strings R"delim(...)delim".
+void SourceFile::strip(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string closing delimiter: )delim"
+
+  code_.clear();
+  line_starts_.clear();
+  for (const std::string& src : raw) {
+    line_starts_.push_back(code_.size());
+    std::string out(src.size(), ' ');
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    // A // comment ends at the newline, so kCode is re-entered per line;
+    // the other states persist across lines.
+    bool line_comment = false;
+    while (i < n) {
+      char c = src[i];
+      switch (state) {
+        case State::kCode: {
+          if (line_comment) {
+            ++i;
+            break;
+          }
+          if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            line_comment = true;
+            i += 2;
+            break;
+          }
+          if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+            break;
+          }
+          if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+              (i == 0 || !ident_char(src[i - 1]))) {
+            std::size_t paren = src.find('(', i + 2);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + src.substr(i + 2, paren - i - 2) + "\"";
+              out[i] = 'R';
+              out[i + 1] = '"';
+              state = State::kRawString;
+              i = paren + 1;
+              break;
+            }
+          }
+          if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+            ++i;
+            break;
+          }
+          if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+            ++i;
+            break;
+          }
+          out[i] = c;
+          ++i;
+          break;
+        }
+        case State::kBlockComment:
+          if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+            state = State::kCode;
+            i += 2;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && i + 1 < n) {
+            i += 2;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && i + 1 < n) {
+            i += 2;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kRawString: {
+          std::size_t close = src.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = n;
+          } else {
+            std::size_t end = close + raw_delim.size();
+            out[end - 1] = '"';
+            state = State::kCode;
+            i = end;
+          }
+          break;
+        }
+      }
+    }
+    code_ += out;
+    code_ += '\n';
+  }
+}
+
+int SourceFile::line_of(std::size_t offset) const {
+  auto it =
+      std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+std::string SourceFile::code_line(int line) const {
+  if (line < 1 || static_cast<std::size_t>(line) > line_starts_.size())
+    return "";
+  std::size_t begin = line_starts_[line - 1];
+  std::size_t end = static_cast<std::size_t>(line) < line_starts_.size()
+                        ? line_starts_[line]
+                        : code_.size();
+  std::string s = code_.substr(begin, end - begin);
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+// Parses `COPLINT(...)` directives out of the *raw* text (they live in
+// comments, which the stripped view blanks). Grammar:
+//   COPLINT(allow:<rule>: <reason>)   suppress <rule> on the anchored line
+//   COPLINT(hot-file)                 whole file is a hot path
+// A suppression on a line with no code anchors to the next code line.
+void SourceFile::parse_directives(const std::vector<std::string>& raw) {
+  const std::string marker = "COPLINT(";
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& text = raw[li];
+    std::size_t pos = 0;
+    while ((pos = text.find(marker, pos)) != std::string::npos) {
+      std::size_t body_begin = pos + marker.size();
+      std::size_t close = text.find(')', body_begin);
+      pos = body_begin;
+      Suppression s;
+      s.comment_line = static_cast<int>(li + 1);
+      if (close == std::string::npos) {
+        s.malformed = true;
+        s.reason = "unterminated COPLINT(...) directive";
+        suppressions_.push_back(std::move(s));
+        continue;
+      }
+      std::string body = text.substr(body_begin, close - body_begin);
+      if (trim(body) == "hot-file") {
+        hot_file_ = true;
+        continue;
+      }
+      if (body.rfind("allow:", 0) != 0) {
+        s.malformed = true;
+        s.reason = "unknown COPLINT directive (expected allow:<rule>: "
+                   "<reason> or hot-file)";
+        suppressions_.push_back(std::move(s));
+        continue;
+      }
+      std::size_t rule_begin = 6;  // after "allow:"
+      std::size_t colon = body.find(':', rule_begin);
+      if (colon == std::string::npos) {
+        s.malformed = true;
+        s.reason = "suppression has no reason: COPLINT(allow:<rule>: "
+                   "<reason>) — the reason is mandatory";
+        suppressions_.push_back(std::move(s));
+        continue;
+      }
+      s.rule = trim(body.substr(rule_begin, colon - rule_begin));
+      s.reason = trim(body.substr(colon + 1));
+      if (s.rule.empty() || s.reason.empty()) {
+        s.malformed = true;
+        s.reason = s.rule.empty()
+                       ? "suppression names no rule"
+                       : "suppression has an empty reason — the reason is "
+                         "mandatory";
+        suppressions_.push_back(std::move(s));
+        continue;
+      }
+      // Anchor: this line if it carries code, otherwise the next line
+      // that does.
+      int anchor = static_cast<int>(li + 1);
+      if (trim(code_line(anchor)).empty()) {
+        for (std::size_t nl = li + 1; nl < raw.size(); ++nl) {
+          if (!trim(code_line(static_cast<int>(nl + 1))).empty()) {
+            anchor = static_cast<int>(nl + 1);
+            break;
+          }
+        }
+      }
+      s.anchor_line = anchor;
+      suppressions_.push_back(std::move(s));
+    }
+  }
+}
+
+// A COP_HOT marker followed by a function body `{...}` makes that body a
+// hot region; a marker followed by `;` first is a plain declaration.
+void SourceFile::find_hot_regions() {
+  std::size_t pos = 0;
+  while ((pos = find_token(code_, "COP_HOT", pos)) != std::string::npos) {
+    std::size_t i = pos + 7;
+    // Skip the #define in common/hot.hpp itself.
+    std::string line = code_line(line_of(pos));
+    if (line.find("#define") != std::string::npos) {
+      pos = i;
+      continue;
+    }
+    int depth = 0;
+    std::size_t body_open = std::string::npos;
+    for (; i < code_.size(); ++i) {
+      char c = code_[i];
+      if (c == ';' && depth == 0 && body_open == std::string::npos) break;
+      if (c == '{') {
+        if (body_open == std::string::npos) body_open = i;
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0 && body_open != std::string::npos) break;
+      }
+    }
+    if (body_open != std::string::npos && i < code_.size()) {
+      hot_regions_.push_back(
+          HotRegion{line_of(pos), line_of(i)});
+    }
+    pos = i;
+  }
+}
+
+bool SourceFile::line_is_hot(int line) const {
+  if (hot_file_) return true;
+  for (const HotRegion& r : hot_regions_) {
+    if (line >= r.begin && line <= r.end) return true;
+  }
+  return false;
+}
+
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t after = pos + token.size();
+    const bool right_ok = after >= code.size() || !ident_char(code[after]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+}  // namespace coplint

@@ -1,0 +1,80 @@
+// coplint scanner: loads a source file and prepares the views the rules
+// run on.
+//
+// The tool is deliberately token/line-level (no libclang): every rule is a
+// heuristic over a comment- and literal-stripped view of the code, which
+// keeps the tool dependency-free and fast enough to run on every build.
+// False positives are expected and handled by the suppression mechanism
+// (docs/static_analysis.md) — a suppression must carry a written reason.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coplint {
+
+/// One `// COPLINT(allow:<rule>: <reason>)` directive.
+struct Suppression {
+  int comment_line = 0;  ///< 1-based line the comment sits on
+  int anchor_line = 0;   ///< 1-based line the suppression applies to
+  std::string rule;
+  std::string reason;
+  bool malformed = false;     ///< syntax error; `reason` holds the message
+  mutable bool used = false;  ///< matched at least one finding
+};
+
+/// Inclusive 1-based line range of a COP_HOT function body.
+struct HotRegion {
+  int begin = 0;
+  int end = 0;
+};
+
+class SourceFile {
+ public:
+  /// Loads `abs_path`, strips comments/literals, and parses COPLINT
+  /// directives. `rel_path` is the path reported in findings.
+  static SourceFile load(const std::string& abs_path, std::string rel_path);
+
+  const std::string& path() const { return path_; }
+  /// Code with comments and string/char literal contents blanked out,
+  /// lines joined with '\n'. Offsets map back to lines via line_of().
+  const std::string& code() const { return code_; }
+  int line_of(std::size_t offset) const;
+  /// The stripped text of one 1-based line.
+  std::string code_line(int line) const;
+
+  const std::vector<Suppression>& suppressions() const {
+    return suppressions_;
+  }
+  std::vector<Suppression>& suppressions() { return suppressions_; }
+
+  bool hot_file() const { return hot_file_; }
+  const std::vector<HotRegion>& hot_regions() const { return hot_regions_; }
+  /// True when `line` is inside a COP_HOT function (or the whole file is
+  /// marked hot).
+  bool line_is_hot(int line) const;
+  /// True when the file contains at least one hot marker of either kind.
+  bool has_hot_marker() const { return hot_file_ || !hot_regions_.empty(); }
+
+ private:
+  void strip(const std::vector<std::string>& raw);
+  void parse_directives(const std::vector<std::string>& raw);
+  void find_hot_regions();
+
+  std::string path_;
+  std::string code_;
+  std::vector<std::size_t> line_starts_;  ///< offset of each line in code_
+  std::vector<Suppression> suppressions_;
+  std::vector<HotRegion> hot_regions_;
+  bool hot_file_ = false;
+};
+
+/// Whole-word token search over stripped code: `token` may contain
+/// identifier characters plus ':'; a match requires non-identifier
+/// characters (or the text edge) on both sides. Returns the offset of the
+/// first match at or after `from`, or npos.
+std::size_t find_token(const std::string& code, const std::string& token,
+                       std::size_t from = 0);
+
+}  // namespace coplint
