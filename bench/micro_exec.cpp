@@ -73,8 +73,7 @@ double run_mode(bool offload, SeqNum per_pillar) {
   auto crypto = crypto::make_real_crypto(11);
   app::NullService service(4);
   CountingTransport transport;
-  ExecutionStage stage(/*self=*/0, config, service, *crypto, transport,
-                       [](std::uint32_t, PillarCommand) {});
+  ExecutionStage stage(/*self=*/0, config, service, *crypto, transport);
 
   std::vector<std::unique_ptr<BoundedQueue<ReplyTask>>> lanes;
   std::vector<std::jthread> repliers;

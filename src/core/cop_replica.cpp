@@ -11,10 +11,7 @@ CopReplica::CopReplica(ReplicaId self, ReplicaRuntimeConfig config,
       service_(std::move(service)),
       transport_(transport),
       outbound_(self, config_.protocol.num_replicas, crypto, transport),
-      exec_(self, config_, *service_, crypto, transport,
-            [this](std::uint32_t pillar, PillarCommand command) {
-              pillars_[pillar]->post_command(std::move(command));
-            }) {
+      exec_(self, config_, *service_, crypto, transport) {
   // Laggard recovery: the manager serves the artifacts the execution
   // stage produces and, when a pillar reports being stranded, fetches and
   // installs a peer checkpoint, then slides every pillar's window to it.

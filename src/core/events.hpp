@@ -11,10 +11,15 @@
 
 namespace copbft::core {
 
-// ---- execution-stage -> protocol-logic commands ---------------------------
+// ---- pillar bookkeeping commands ------------------------------------------
+//
+// With pre-execution offload (paper §4.3.1) these are no longer pushed by
+// the execution stage: each pillar picks up its own share — checkpoint
+// rounds it owns, gap fills for its slice — via
+// ExecutionStage::poll_pillar() and feeds them to its handle_command.
 
-/// The execution stage crossed a checkpoint boundary; the addressed logic
-/// unit runs the checkpoint agreement (paper §4.2.2).
+/// Execution crossed a checkpoint boundary owned by this logic unit; run
+/// the checkpoint agreement (paper §4.2.2).
 struct StartCheckpoint {
   protocol::SeqNum seq = 0;
   crypto::Digest digest;
@@ -28,10 +33,12 @@ struct NoteStable {
 };
 
 /// The total order is stalled waiting for sequence numbers up to `seq`;
-/// fill the slice's share with pending requests or no-ops (paper §4.2.1).
-/// `frontier` is the execution stage's next needed sequence number (0 =
-/// unknown) — the core uses it to detect that the needed certificates were
-/// already truncated cluster-wide (state-transfer trigger).
+/// fill this slice's share with pending requests or no-ops (paper §4.2.1).
+/// Self-addressed: each pillar times its own stall and requests fills for
+/// its own slice only. `frontier` is the execution stage's next needed
+/// sequence number (0 = unknown) — the core uses it to detect that the
+/// needed certificates were already truncated cluster-wide
+/// (state-transfer trigger).
 struct FillGap {
   protocol::SeqNum seq = 0;
   protocol::SeqNum frontier = 0;

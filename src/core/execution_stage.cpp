@@ -17,17 +17,37 @@ namespace {
 constexpr std::size_t kReplyCachePerClient = 32;
 constexpr std::uint64_t kDedupWindow = 4096;
 
-/// Two commits for the same sequence number must carry the same batch;
-/// anything else means the total order forked.
-bool equivalent_batches(const CommittedBatch& a, const CommittedBatch& b) {
-  const bool a_noop = !a.requests || a.requests->empty();
-  const bool b_noop = !b.requests || b.requests->empty();
-  if (a_noop || b_noop) return a_noop == b_noop;
-  if (a.requests->size() != b.requests->size()) return false;
-  for (std::size_t i = 0; i < a.requests->size(); ++i) {
-    if ((*a.requests)[i].key() != (*b.requests)[i].key()) return false;
+// Slot state encoding (see ReorderRing in the header).
+constexpr std::uint64_t slot_published(protocol::SeqNum seq) {
+  return static_cast<std::uint64_t>(seq) << 1;
+}
+constexpr std::uint64_t slot_claimed(protocol::SeqNum seq) {
+  return (static_cast<std::uint64_t>(seq) << 1) | 1;
+}
+
+/// FNV-1a over the request keys. Two commits for the same sequence number
+/// must carry the same batch; a fingerprint mismatch on a duplicate means
+/// the total order forked. The stored fingerprint lets any pillar run the
+/// check against a slot another pillar published without touching the
+/// (non-atomic) payload.
+std::uint64_t batch_hash(const CommittedBatch& b) {
+  std::uint64_t h = 1469598103934665603ULL;
+  if (!b.requests) return h;
+  for (const auto& r : *b.requests) {
+    std::uint64_t k = r.key();
+    for (int i = 0; i < 8; ++i) {
+      h ^= (k >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
   }
-  return true;
+  return h;
+}
+
+/// (request count << 1) | is_noop — the cheap half of the fingerprint.
+std::uint64_t batch_meta(const CommittedBatch& b) {
+  const bool noop = !b.requests || b.requests->empty();
+  const std::uint64_t n = noop ? 0 : b.requests->size();
+  return (n << 1) | (noop ? 1 : 0);
 }
 
 std::string exec_metric(ReplicaId self, const char* name) {
@@ -38,7 +58,7 @@ std::string exec_metric(ReplicaId self, const char* name) {
 /// frontier can itself trail stability, so 2x window plus slack covers
 /// every buffered seq with distinct slots. Clamped so a pathological
 /// window cannot exhaust memory — collisions are then legal and resolved
-/// by admit().
+/// by publish().
 std::size_t ring_slots(std::uint64_t window) {
   const std::uint64_t want = 2 * window + 2;
   std::size_t n = 64;
@@ -49,55 +69,119 @@ std::size_t ring_slots(std::uint64_t window) {
 }  // namespace
 
 // --------------------------------------------------------------------------
-// ReorderRing
+// ReorderRing — lock-free slot ring, one pillar writer per slot (slice
+// partition), single consumer (the stage thread).
 
 ExecutionStage::ReorderRing::ReorderRing(std::uint64_t window)
     : slots_(ring_slots(window)), mask_(slots_.size() - 1) {}
 
-COP_HOT CommittedBatch* ExecutionStage::ReorderRing::find(
-    protocol::SeqNum seq) {
-  auto& cell = slots_[slot(seq)];
-  if (cell && cell->seq == seq) return &*cell;
-  return nullptr;
-}
-
-COP_HOT CommittedBatch* ExecutionStage::ReorderRing::occupant(
-    protocol::SeqNum seq) {
-  auto& cell = slots_[slot(seq)];
-  return cell ? &*cell : nullptr;
-}
-
-COP_HOT void ExecutionStage::ReorderRing::insert(CommittedBatch batch) {
-  auto& cell = slots_[slot(batch.seq)];
-  cell.emplace(std::move(batch));
-  ++count_;
-}
-
-COP_HOT void ExecutionStage::ReorderRing::erase(protocol::SeqNum seq) {
-  auto& cell = slots_[slot(seq)];
-  if (cell && cell->seq == seq) {
-    cell.reset();
-    --count_;
-  }
-}
-
-void ExecutionStage::ReorderRing::erase_upto(protocol::SeqNum upto) {
-  if (count_ == 0) return;
-  for (auto& cell : slots_) {
-    if (cell && cell->seq <= upto) {
-      cell.reset();
-      --count_;
+COP_HOT ExecutionStage::ReorderRing::PublishResult
+ExecutionStage::ReorderRing::publish(CommittedBatch&& batch,
+                                     protocol::SeqNum frontier,
+                                     std::uint64_t hash, std::uint64_t meta) {
+  Slot& s = slots_[index(batch.seq)];
+  const std::uint64_t mine_pub = slot_published(batch.seq);
+  const std::uint64_t mine_claim = slot_claimed(batch.seq);
+  std::uint64_t cur = s.state.load(std::memory_order_seq_cst);
+  while (true) {
+    if (cur == mine_pub) {
+      // Redelivery of a seq someone already published. Read the stored
+      // fingerprint and validate it by re-reading the state word: if the
+      // slot changed under us (consumed/reclaimed mid-read), the
+      // fingerprint may belong to another batch and the check is skipped.
+      PublishResult res;
+      res.outcome = Outcome::kDuplicate;
+      res.stored_hash = s.hash.load(std::memory_order_relaxed);
+      res.stored_meta = s.meta.load(std::memory_order_relaxed);
+      res.fingerprint_valid =
+          s.state.load(std::memory_order_seq_cst) == mine_pub;
+      return res;
     }
+    if (cur == mine_claim) {
+      // Another writer is mid-publishing the same seq (concurrent
+      // redelivery); nothing to verify yet.
+      return {Outcome::kDuplicate, false, 0, 0};
+    }
+    if (cur == 0) {
+      if (!s.state.compare_exchange_strong(cur, mine_claim,
+                                           std::memory_order_seq_cst))
+        continue;  // cur reloaded
+      s.hash.store(hash, std::memory_order_relaxed);
+      s.meta.store(meta, std::memory_order_relaxed);
+      s.batch.emplace(std::move(batch));
+      count_.fetch_add(1, std::memory_order_relaxed);
+      s.state.store(mine_pub, std::memory_order_seq_cst);
+      return {Outcome::kStored, false, 0, 0};
+    }
+    if (cur & 1) {
+      // Claimed by a writer for a *different* seq — only reachable when
+      // distinct live seqs collide on one slot (clamped ring). Drop ours;
+      // gap detection re-fetches it.
+      return {Outcome::kDroppedSelf, false, 0, 0};
+    }
+    const protocol::SeqNum occupant = cur >> 1;
+    if (occupant < frontier) {
+      // Stale leftover below the execution frontier (e.g. dropped by a
+      // checkpoint install sweep that lost its CAS): reclaim in place.
+      if (!s.state.compare_exchange_strong(cur, mine_claim,
+                                           std::memory_order_seq_cst))
+        continue;
+      s.hash.store(hash, std::memory_order_relaxed);
+      s.meta.store(meta, std::memory_order_relaxed);
+      s.batch.emplace(std::move(batch));  // destroys the stale payload
+      s.state.store(mine_pub, std::memory_order_seq_cst);
+      return {Outcome::kStored, false, 0, 0};
+    }
+    if (occupant < batch.seq) {
+      // Ring wrap-around with a live lower occupant: it executes first,
+      // keep it and drop ours; gap detection re-fetches.
+      return {Outcome::kDroppedSelf, false, 0, 0};
+    }
+    // Live higher occupant: evict it, ours executes first.
+    if (!s.state.compare_exchange_strong(cur, mine_claim,
+                                         std::memory_order_seq_cst))
+      continue;
+    s.hash.store(hash, std::memory_order_relaxed);
+    s.meta.store(meta, std::memory_order_relaxed);
+    s.batch.emplace(std::move(batch));
+    s.state.store(mine_pub, std::memory_order_seq_cst);
+    return {Outcome::kEvictedOther, false, 0, 0};
   }
 }
 
-protocol::SeqNum ExecutionStage::ReorderRing::highest() const {
-  protocol::SeqNum best = 0;
-  if (count_ == 0) return best;
-  for (const auto& cell : slots_) {
-    if (cell && cell->seq > best) best = cell->seq;
+COP_HOT std::optional<CommittedBatch> ExecutionStage::ReorderRing::take(
+    protocol::SeqNum seq) {
+  Slot& s = slots_[index(seq)];
+  std::uint64_t want = slot_published(seq);
+  if (s.state.load(std::memory_order_seq_cst) != want) return std::nullopt;
+  // Claim before moving the payload out: writer CASes expect `published`
+  // and fail while we hold the claim, so eviction/reclaim can never race
+  // the move.
+  if (!s.state.compare_exchange_strong(want, slot_claimed(seq),
+                                       std::memory_order_seq_cst))
+    return std::nullopt;
+  std::optional<CommittedBatch> out = std::move(s.batch);
+  s.batch.reset();
+  count_.fetch_sub(1, std::memory_order_relaxed);
+  // Freed before the caller advances next_seq, so the slot is reusable by
+  // the time any writer can consider this seq stale.
+  s.state.store(0, std::memory_order_seq_cst);
+  return out;
+}
+
+void ExecutionStage::ReorderRing::discard_upto(protocol::SeqNum upto) {
+  for (Slot& s : slots_) {
+    std::uint64_t cur = s.state.load(std::memory_order_seq_cst);
+    if (cur == 0 || (cur & 1)) continue;  // free, or a writer owns it
+    const protocol::SeqNum occupant = cur >> 1;
+    if (occupant > upto) continue;
+    if (!s.state.compare_exchange_strong(cur, slot_claimed(occupant),
+                                         std::memory_order_seq_cst))
+      continue;  // republished concurrently; the writer self-heals later
+    s.batch.reset();
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    s.state.store(0, std::memory_order_seq_cst);
   }
-  return best;
 }
 
 // --------------------------------------------------------------------------
@@ -106,16 +190,17 @@ ExecutionStage::ExecutionStage(ReplicaId self,
                                const ReplicaRuntimeConfig& config,
                                app::Service& service,
                                const crypto::CryptoProvider& crypto,
-                               transport::Transport& transport,
-                               CommandFn command)
+                               transport::Transport& transport)
     : self_(self),
       config_(config),
       service_(service),
       crypto_(crypto),
       transport_(transport),
-      command_(std::move(command)),
-      queue_(config.queue_capacity),
       reorder_(config.protocol.window),
+      lanes_(new PillarLane[std::max<std::uint32_t>(config.num_pillars, 1)]),
+      ckpt_mail_(
+          new CkptMailbox[std::max<std::uint32_t>(config.num_pillars, 1)]),
+      install_queue_(config.queue_capacity),
       m_reorder_depth_(metrics::MetricsRegistry::global().gauge(
           exec_metric(self, "reorder_depth"))),
       m_drift_(
@@ -128,7 +213,9 @@ ExecutionStage::ExecutionStage(ReplicaId self,
           exec_metric(self, "replies_sent"))),
       m_execute_us_(metrics::MetricsRegistry::global().histogram(
           exec_metric(self, "execute_us"))) {
-  queue_.instrument(
+  // Commit admission no longer queues; the instrumented queue is the
+  // (rare) state-transfer install lane.
+  install_queue_.instrument(
       metrics::MetricsRegistry::global().gauge(exec_metric(self, "queue_depth")),
       metrics::MetricsRegistry::global().counter(
           exec_metric(self, "queue_blocked_pushes")));
@@ -139,8 +226,16 @@ void ExecutionStage::start() {
 }
 
 void ExecutionStage::stop() {
-  queue_.close();
+  stop_requested_.store(true, std::memory_order_release);
+  install_queue_.close();
+  wake_exec();
   if (thread_.joinable()) thread_.join();
+}
+
+bool ExecutionStage::submit_install(InstallState install) {
+  const bool ok = install_queue_.push(std::move(install));
+  wake_exec();
+  return ok;
 }
 
 ExecutionStats ExecutionStage::stats() const {
@@ -166,45 +261,52 @@ ExecutionStats ExecutionStage::stats() const {
   return out;
 }
 
+void ExecutionStage::wake_exec() {
+  {
+    MutexLock lock(wake_mutex_);
+    wake_pending_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
 void ExecutionStage::run() {
+  // The wait below is a fallback heartbeat, not the main wake path:
+  // pillars notify whenever they publish the execution frontier. It still
+  // bounds the stage's reaction to events with no publish edge (e.g. an
+  // install that unblocks an already-buffered frontier on a quiet system).
   const auto poll = std::chrono::microseconds(
       std::max<std::uint64_t>(config_.gap_timeout_us / 2, 500));
   while (true) {
-    auto input = queue_.pop_for(poll);
-    if (!input && queue_.closed()) return;
-    if (input) {
-      admit_input(std::move(*input));
-      // Drain whatever else is already queued before executing: cheap and
-      // increases the chance the reorder buffer can run a long streak.
-      while (auto more = queue_.try_pop()) admit_input(std::move(*more));
-    }
+    while (auto install = install_queue_.try_pop())
+      handle_install(std::move(*install));
     apply_ready();
-    check_gap(now_us());
+    if (stop_requested_.load(std::memory_order_acquire) &&
+        install_queue_.empty())
+      return;
+    CvLock lock(wake_mutex_);
+    if (!wake_pending_) wake_cv_.wait_for(lock, poll);
+    wake_pending_ = false;
   }
 }
 
-void ExecutionStage::admit_input(Input input) {
-  if (auto* batch = std::get_if<CommittedBatch>(&input)) {
-    admit(std::move(*batch));
-  } else {
-    handle_install(std::move(std::get<InstallState>(input)));
-  }
-}
-
-COP_HOT void ExecutionStage::admit(CommittedBatch batch) {
+COP_HOT bool ExecutionStage::admit(CommittedBatch batch) {
   const std::uint32_t np = config_.num_pillars;
   COP_INVARIANT(batch.seq != 0,
                 "sequence number 0 is genesis and must never commit "
                 "(pillar %u)",
                 batch.pillar);
   // Paper §4.2.1: pillar p owns exactly the numbers c(p,i) = p + i*NP.
+  // This partition is also what makes pillar-side admission single-writer
+  // per ring slot: distinct pillars can never contend on a live slot.
   COP_INVARIANT(batch.pillar < np && batch.seq % np == batch.pillar,
                 "seq %llu delivered by pillar %u breaks the c(p,i)=p+i*NP "
                 "partition (NP=%u)",
                 static_cast<unsigned long long>(batch.seq), batch.pillar, np);
 
-  const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
-  if (batch.seq < next) return;  // stale redelivery (e.g. after view change)
+  // seq_cst pairs with take()/apply_ready: any occupant below this
+  // snapshot is no longer consumable by the stage and is safe to reclaim.
+  const protocol::SeqNum frontier = next_seq_.load(std::memory_order_seq_cst);
+  if (batch.seq < frontier) return true;  // stale redelivery
 
   // Paper §3.4/§4.2.2: commits may only run `window` past the stable
   // checkpoint. The bound is checked against the emitting core's stable
@@ -219,45 +321,117 @@ COP_HOT void ExecutionStage::admit(CommittedBatch batch) {
       static_cast<unsigned long long>(batch.stable_basis),
       static_cast<unsigned long long>(config_.protocol.window));
 
-  if (CommittedBatch* existing = reorder_.find(batch.seq)) {
-    // A duplicate commit is tolerated, a conflicting one is a fork: two
-    // different batches for one slot can not both enter the total order.
-    COP_INVARIANT(equivalent_batches(*existing, batch),
-                  "conflicting commits for seq %llu: the total order would "
-                  "fork or leave a hole",
-                  static_cast<unsigned long long>(batch.seq));
+  const protocol::SeqNum seq = batch.seq;
+  const auto view = batch.view;
+  const std::uint32_t pillar = batch.pillar < np ? batch.pillar : 0;
+  const std::uint64_t hash = batch_hash(batch);
+  const std::uint64_t meta = batch_meta(batch);
+  m_drift_.set(static_cast<std::int64_t>(seq - batch.stable_basis));
+
+  const auto res = reorder_.publish(std::move(batch), frontier, hash, meta);
+  switch (res.outcome) {
+    case ReorderRing::Outcome::kDuplicate:
+      // A duplicate commit is tolerated, a conflicting one is a fork: two
+      // different batches for one slot can not both enter the total order.
+      if (res.fingerprint_valid) {
+        COP_INVARIANT(res.stored_hash == hash && res.stored_meta == meta,
+                      "conflicting commits for seq %llu: the total order "
+                      "would fork or leave a hole",
+                      static_cast<unsigned long long>(seq));
+      }
+      break;
+    case ReorderRing::Outcome::kDroppedSelf:
+      n_reorder_slot_drops_.add();
+      break;
+    case ReorderRing::Outcome::kEvictedOther:
+      n_reorder_slot_drops_.add();
+      [[fallthrough]];
+    case ReorderRing::Outcome::kStored:
+      trace::point(trace::Point::kReorderEnter, self_, pillar, seq, view,
+                   /*client=*/0, /*request=*/0);
+      m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
+      break;
+  }
+
+  // Slice admission watermark: the max seq this pillar has admitted (even
+  // when the ring dropped it — a dropped commit still needs re-fetching,
+  // which is exactly what the watermark-driven gap poll arranges). Single
+  // writer: only the owning pillar's thread stores it.
+  PillarLane& lane = lanes_[pillar];
+  if (seq > lane.watermark.load(std::memory_order_relaxed))
+    lane.watermark.store(seq, std::memory_order_release);
+
+  // Wake handshake (Dekker): the slot publish above and this next_seq
+  // load are both seq_cst, as are the stage's next_seq store and slot
+  // read — so either we observe the frontier and wake, or the stage's
+  // drain observes our publish. Waking only on the frontier edge is what
+  // keeps the stage's dequeue cost off the per-commit path.
+  if (res.outcome != ReorderRing::Outcome::kDroppedSelf &&
+      next_seq_.load(std::memory_order_seq_cst) == seq)
+    wake_exec();
+  return true;
+}
+
+void ExecutionStage::poll_pillar(std::uint32_t pillar, std::uint64_t now_us,
+                                 std::vector<PillarCommand>& out) {
+  if (pillar >= config_.num_pillars) return;
+
+  // Checkpoint rounds this pillar owns (paper §4.2.2): drained here and
+  // fed to the pillar's own handle_command by the caller.
+  {
+    CkptMailbox& mail = ckpt_mail_[pillar];
+    MutexLock lock(mail.mutex);
+    for (const CkptSignal& sig : mail.pending)
+      out.push_back(StartCheckpoint{sig.seq, sig.digest});
+    mail.pending.clear();
+  }
+
+  // Slice-local gap tracking: the execution frontier is stalled when it
+  // stops moving while some pillar has admitted past it. Each pillar runs
+  // its own timer and requests fills for its own slice only.
+  PillarLane& lane = lanes_[pillar];
+  const protocol::SeqNum frontier = next_seq_.load(std::memory_order_seq_cst);
+  if (frontier != lane.last_frontier) {
+    lane.last_frontier = frontier;
+    lane.stall_since_us = 0;
     return;
   }
-  if (CommittedBatch* occupant = reorder_.occupant(batch.seq)) {
-    // Ring wrap-around — only reachable when the drift bound exceeded the
-    // clamped ring size. Keep the lower sequence number (it executes
-    // first) and drop the higher one; gap detection re-fetches it.
-    n_reorder_slot_drops_.add();
-    if (occupant->seq < batch.seq) return;
-    reorder_.erase(occupant->seq);
+  protocol::SeqNum target = 0;
+  for (std::uint32_t p = 0; p < config_.num_pillars; ++p)
+    target = std::max(target, lanes_[p].watermark.load(
+                                  std::memory_order_acquire));
+  if (target <= frontier) {
+    // Nothing admitted beyond the frontier (== means the frontier itself
+    // is published and the stage is about to run it): no gap.
+    lane.stall_since_us = 0;
+    return;
   }
-  m_drift_.set(static_cast<std::int64_t>(batch.seq - batch.stable_basis));
-  trace::point(trace::Point::kReorderEnter, self_, batch.pillar, batch.seq,
-               batch.view, /*client=*/0, /*request=*/0);
-  reorder_.insert(std::move(batch));
-  m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
+  if (lane.stall_since_us == 0) {
+    lane.stall_since_us = now_us;
+    return;
+  }
+  if (now_us - lane.stall_since_us < config_.gap_timeout_us) return;
+  lane.stall_since_us = now_us;
+  n_gap_fills_requested_.add();
+  out.push_back(FillGap{target, frontier});
 }
 
 COP_HOT void ExecutionStage::apply_ready() {
   while (true) {
     const protocol::SeqNum next = next_seq_.load(std::memory_order_relaxed);
-    CommittedBatch* batch = reorder_.find(next);
+    std::optional<CommittedBatch> batch = reorder_.take(next);
     if (!batch) break;
     {
       metrics::ScopedTimer timer(m_execute_us_);
       execute_batch(*batch);
     }
-    reorder_.erase(next);
     m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
     n_last_executed_seq_.set(next);
     maybe_checkpoint(next);
-    next_seq_.store(next + 1, std::memory_order_relaxed);
-    stall_since_us_ = 0;
+    // seq_cst pairs with the pillars' publish/frontier-check handshake;
+    // take() already freed the slot, so a writer that sees this new
+    // frontier can immediately reuse it.
+    next_seq_.store(next + 1, std::memory_order_seq_cst);
   }
 }
 
@@ -401,29 +575,14 @@ void ExecutionStage::maybe_checkpoint(protocol::SeqNum seq) {
                                 service_.snapshot()};
     snapshot_fn_(seq, digest, artifact.encode());
   }
-  // Round-robin checkpoint ownership across pillars (paper §4.2.2).
-  std::uint32_t owner = static_cast<std::uint32_t>(
+  // Round-robin checkpoint ownership across pillars (paper §4.2.2): mail
+  // the frontier-crossing signal to the owner; its next poll_pillar()
+  // turns it into a StartCheckpoint on the owning pillar's own thread.
+  const std::uint32_t owner = static_cast<std::uint32_t>(
       (seq / config_.protocol.checkpoint_interval) % config_.num_pillars);
-  command_(owner, StartCheckpoint{seq, digest});
-}
-
-void ExecutionStage::check_gap(std::uint64_t now) {
-  if (reorder_.empty()) {
-    stall_since_us_ = 0;
-    return;
-  }
-  // Something beyond next_seq_ committed but next_seq_ has not: a gap.
-  if (stall_since_us_ == 0) {
-    stall_since_us_ = now;
-    return;
-  }
-  if (now - stall_since_us_ < config_.gap_timeout_us) return;
-  stall_since_us_ = now;
-  n_gap_fills_requested_.add();
-  protocol::SeqNum target = reorder_.highest();
-  const protocol::SeqNum frontier = next_seq_.load(std::memory_order_relaxed);
-  for (std::uint32_t p = 0; p < config_.num_pillars; ++p)
-    command_(p, FillGap{target, frontier});
+  CkptMailbox& mail = ckpt_mail_[owner];
+  MutexLock lock(mail.mutex);
+  mail.pending.push_back(CkptSignal{seq, digest});
 }
 
 // --------------------------------------------------------------------------
@@ -538,11 +697,14 @@ void ExecutionStage::handle_install(InstallState install) {
     return reject();
 
   clients_ = std::move(clients);
-  reorder_.erase_upto(install.seq);
+  // Ring truncation races pillar writers: advance the frontier *first*
+  // (seq_cst), then sweep. A writer that published concurrently and lost
+  // the sweep's CAS left a below-frontier occupant, which any later
+  // publish to that slot reclaims in place — the ring self-heals.
+  next_seq_.store(install.seq + 1, std::memory_order_seq_cst);
+  reorder_.discard_upto(install.seq);
   m_reorder_depth_.set(static_cast<std::int64_t>(reorder_.size()));
-  next_seq_.store(install.seq + 1, std::memory_order_relaxed);
   installed_floor_ = install.seq;
-  stall_since_us_ = 0;
   n_state_installs_.add();
   n_installed_seq_.set(install.seq);
   // The state now reflects everything through install.seq.

@@ -110,6 +110,10 @@ class Pillar final : public transport::FrameSink {
 
   BoundedQueue<PillarEvent> queue_;
   BoundedQueue<PillarCommand> commands_{1 << 16};
+  /// Scratch for ExecutionStage::poll_pillar (pre-execution offload):
+  /// checkpoint rounds this pillar owns and gap fills for its slice,
+  /// produced by the stage's bookkeeping and executed here.
+  std::vector<PillarCommand> poll_out_;
   protocol::CryptoVerifier verifier_;
   protocol::PbftCore core_;
 

@@ -17,10 +17,7 @@ SmartReplica::SmartReplica(ReplicaId self, ReplicaRuntimeConfig config,
       auth_pool_(self, config_.protocol.num_replicas, crypto, transport,
                  config_.auth_threads, config_.queue_capacity),
       outbound_(auth_pool_, lanes),
-      exec_(self, config_, *service_, crypto, transport,
-            [this](std::uint32_t, PillarCommand command) {
-              logic_->post_command(std::move(command));
-            }) {
+      exec_(self, config_, *service_, crypto, transport) {
   if (config_.num_pillars != 1)
     throw std::invalid_argument("SMaRt replica has exactly one logic thread");
   if (config_.protocol.max_active_proposals != 1)

@@ -14,10 +14,7 @@ TopReplica::TopReplica(ReplicaId self, ReplicaRuntimeConfig config,
       ingress_verifier_(crypto, protocol::replica_node(self)),
       outbound_(self, config_.protocol.num_replicas, crypto, transport,
                 config_.auth_threads, config_.queue_capacity),
-      exec_(self, config_, *service_, crypto, transport,
-            [this](std::uint32_t, PillarCommand command) {
-              logic_->post_command(std::move(command));
-            }) {
+      exec_(self, config_, *service_, crypto, transport) {
   if (config_.num_pillars != 1)
     throw std::invalid_argument("TOP replica has exactly one logic thread");
 

@@ -179,11 +179,17 @@ void PbftCore::handle_pre_prepare(IncomingMessage im) {
   const PrePrepare& pp = std::get<PrePrepare>(im.msg);
   if (view_changing_ || pp.view != view_ || !slice_.contains(pp.seq) ||
       !in_window(pp.seq)) {
-    // A proposal past the window can only exist if the proposer's stable
-    // checkpoint is already ahead of our whole window: we are stranded.
     if (!view_changing_ && pp.view == view_ && slice_.contains(pp.seq) &&
-        pp.seq > stable_seq_ + config_.window)
+        pp.seq > stable_seq_ + config_.window) {
+      // One interval over the window means the proposer's stable
+      // checkpoint leads ours by a round that is already in flight:
+      // park the proposal for replay once our window slides (dropping
+      // it would stall the instance until retransmission). Further out
+      // than that, we are stranded.
+      if (just_over_window(pp.seq) && defer_over_window(std::move(im)))
+        return;
       hint_state_transfer(pp.seq);
+    }
     ++stats_.verifications_skipped;
     return;
   }
@@ -288,8 +294,12 @@ void PbftCore::handle_vote(IncomingMessage im) {
       v.replica >= config_.num_replicas) {
     if (!view_changing_ && v.view == view_ && slice_.contains(v.seq) &&
         v.replica != self_ && v.replica < config_.num_replicas &&
-        v.seq > stable_seq_ + config_.window)
+        v.seq > stable_seq_ + config_.window) {
+      // See handle_pre_prepare: one interval of skew is normal traffic.
+      if (just_over_window(v.seq) && defer_over_window(std::move(im)))
+        return;
       hint_state_transfer(v.seq);
+    }
     ++stats_.verifications_skipped;
     return;
   }
@@ -559,6 +569,20 @@ void PbftCore::fetch_missing_upto(SeqNum upto, std::uint64_t now_us) {
   }
 }
 
+bool PbftCore::defer_over_window(IncomingMessage im) {
+  // One checkpoint interval of replica-message traffic at most: each
+  // instance carries one pre-prepare plus two votes per peer.
+  const std::size_t cap = static_cast<std::size_t>(
+      config_.checkpoint_interval * (1 + 2 * (config_.num_replicas - 1)));
+  if (over_window_pen_.size() >= cap) {
+    ++stats_.over_window_dropped;
+    return false;
+  }
+  ++stats_.over_window_deferred;
+  over_window_pen_.push_back(std::move(im));
+  return true;
+}
+
 void PbftCore::hint_state_transfer(SeqNum observed) {
   const std::uint64_t interval = config_.retransmit_interval_us != 0
                                      ? config_.retransmit_interval_us
@@ -666,6 +690,15 @@ void PbftCore::make_stable(SeqNum seq, const crypto::Digest& digest,
   next_index_ = std::max(next_index_, min_index);
 
   maybe_propose();  // the window slid forward
+
+  // The slide may have brought parked over-window messages into range:
+  // replay them through the normal dispatch. Anything still out of range
+  // (or stale) parks again or drops in its handler.
+  if (!over_window_pen_.empty()) {
+    std::vector<IncomingMessage> replay;
+    replay.swap(over_window_pen_);
+    for (IncomingMessage& m : replay) on_message(std::move(m), now_us_);
+  }
 }
 
 void PbftCore::note_checkpoint_stable(SeqNum seq,
@@ -885,6 +918,7 @@ void PbftCore::apply_new_view(const NewView& nv) {
   note_progress();
   ++stats_.view_changes_completed;
   vc_msgs_.erase(vc_msgs_.begin(), vc_msgs_.upper_bound(nv.view));
+  over_window_pen_.clear();  // stale-view messages; peers will retransmit
   emit(ViewChanged{view_});
 
   const ReplicaId coordinator = nv.replica;

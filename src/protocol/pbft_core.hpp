@@ -51,6 +51,12 @@ struct CoreStats {
   std::uint64_t request_verifications_skipped = 0;
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t invalid_dropped = 0;
+  /// Messages held because they arrived at most one checkpoint interval
+  /// above our watermark window (peer's stable checkpoint led ours);
+  /// replayed when the window slides instead of being dropped.
+  std::uint64_t over_window_deferred = 0;
+  /// Over-window messages dropped because the holding pen was full.
+  std::uint64_t over_window_dropped = 0;
   std::uint64_t view_changes_started = 0;
   std::uint64_t view_changes_completed = 0;
   std::uint64_t checkpoints_stable = 0;
@@ -231,6 +237,16 @@ class PbftCore {
   bool in_window(SeqNum seq) const {
     return seq > stable_seq_ && seq <= stable_seq_ + config_.window;
   }
+  /// An instance one checkpoint interval (at most) above the window: the
+  /// sender's stable checkpoint legitimately leads ours by one round, so
+  /// the message is deferred until our window slides, not dropped.
+  bool just_over_window(SeqNum seq) const {
+    return seq > stable_seq_ + config_.window &&
+           seq <= stable_seq_ + config_.window + config_.checkpoint_interval;
+  }
+  /// Parks an over-window message for replay in make_stable. Returns
+  /// false (and counts a drop) when the pen is full.
+  bool defer_over_window(IncomingMessage im);
   /// Emits a rate-limited StateTransferNeeded for evidence at `observed`.
   void hint_state_transfer(SeqNum observed);
   void note_progress() { last_progress_us_ = now_us_; }
@@ -269,6 +285,9 @@ class PbftCore {
   std::map<SeqNum, CheckpointState> checkpoints_;
 
   std::deque<Request> pending_;
+  /// Over-window holding pen (just_over_window): replayed on window
+  /// slide, cleared on view change. Bounded by kMaxOverWindowDeferred.
+  std::vector<IncomingMessage> over_window_pen_;
   // COPLINT(allow:det-unordered-member: lookup-only dedup set; never iterated — proposal order comes from pending_, a deque)
   std::unordered_set<std::uint64_t> pending_keys_;
   /// Requests already assigned to an instance (pre-prepare seen); prevents

@@ -56,14 +56,15 @@ struct CostModel {
   double legacy_client_ns = 22'000.0;
 
   // ---- execution stage ----
-  // The stage drains its submission queue in bursts: one dequeue_ns
-  // wakeup per burst, then per buffered commit only the de-locked
-  // admission cost below (the runtime's ReorderRing + single-writer
-  // atomic counters; see docs/performance.md for the before/after
-  // microbenchmark anchoring).
-  double exec_base_ns = 180.0;   ///< per ordered request, null service
-  double exec_drain_ns = 260.0;  ///< pop + ring admission per queued commit
-  double exec_order_ns = 60.0;   ///< ring find/erase per executed instance
+  // Pre-execution offload (§4.3.1): commit admission runs on the pillar
+  // that delivered the instance — it publishes straight into its slice of
+  // the reorder ring (pillar_admit_ns, charged to the pillar) and wakes
+  // the stage only when it published the execution frontier (one
+  // dequeue_ns on the stage per wake, not per commit). The stage itself
+  // pays only the in-order take + service invocation below.
+  double exec_base_ns = 180.0;    ///< per ordered request, null service
+  double pillar_admit_ns = 170.0; ///< lock-free ring publish, on the pillar
+  double exec_order_ns = 60.0;    ///< ring take per executed instance
   /// Building + routing one ReplyTask to its originating pillar — the
   /// only per-reply work left in the stage after the §4.3.2 offload.
   double reply_task_ns = 90.0;

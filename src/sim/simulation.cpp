@@ -177,14 +177,18 @@ struct LogicUnit {
     return d;
   }
 
+  /// Frontier snapshot of this unit's previous gap poll (pre-execution
+  /// offload: each pillar times its own stall, §4.3.1).
+  SeqNum last_gap_frontier = 0;
+
   double feed_request(const Request& req, std::size_t frame_bytes,
                       bool pre_verified);
   double feed_message(const Packet& packet);
   double note_stable(SeqNum seq);
   double start_checkpoint(SeqNum seq);
-  double fill_gap(SeqNum upto, SeqNum frontier);
   double fetch_missing(SeqNum upto);
   double tick();
+  double gap_check();
   double drain_effects();
 };
 
@@ -203,26 +207,22 @@ struct ExecSim {
   SimThread& thread;
 
   SeqNum next_seq = 1;
+  /// Written directly by the delivering logic unit (pre-execution
+  /// offload, §4.3.1): admission costs are charged to the pillar, and the
+  /// stage is only woken when the execution frontier was published. At
+  /// most one drain task is pending (the edge-triggered wake).
   std::map<SeqNum, Deliver> reorder;
-  /// Committed instances handed over by the logic units, drained in
-  /// bursts: at most one drain task is pending, paying the queue wakeup
-  /// once per burst instead of once per commit (mirrors the threaded
-  /// runtime's try_pop drain loop + de-locked hot path).
-  std::deque<Deliver> inbox;
   bool drain_scheduled = false;
   std::size_t reorder_peak = 0;
   std::uint64_t executed_requests = 0;
   std::uint64_t executed_instances = 0;
-  SeqNum last_gap_frontier = 0;
 
   ExecSim(World& w, ReplicaSim& r, SimThread& t)
       : world(w), replica(r), thread(t) {}
 
-  void enqueue(Deliver d);
   double drain();
   double apply_ready(std::map<std::uint32_t, std::vector<PendingReply>>& out);
   double flush_replies(std::map<std::uint32_t, std::vector<PendingReply>>& out);
-  double gap_check();
 };
 
 // ---------------------------------------------------------------------------
@@ -465,12 +465,6 @@ double LogicUnit::start_checkpoint(SeqNum seq) {
          drain_effects();
 }
 
-double LogicUnit::fill_gap(SeqNum upto, SeqNum frontier) {
-  core->fill_gap_upto(upto, world.now_virtual_us(), frontier);
-  return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
-         drain_effects();
-}
-
 double LogicUnit::fetch_missing(SeqNum upto) {
   core->fetch_missing_upto(upto, world.now_virtual_us());
   return world.costs.dequeue_ns + world.costs.logic_per_message_ns +
@@ -498,8 +492,21 @@ double LogicUnit::drain_effects() {
     } else if (auto* st = std::get_if<SendTo>(&effect)) {
       cost += replica.send_protocol(std::move(st->msg), index, {st->to});
     } else if (auto* del = std::get_if<Deliver>(&effect)) {
-      cost += costs.handoff_ns;
-      replica.exec->enqueue(std::move(*del));
+      // Pre-execution offload (§4.3.1): this pillar publishes the commit
+      // straight into its slice of the reorder ring — admission is paid
+      // here, on the pillar. The exec stage is only woken (one hand-off)
+      // when the published instance is the execution frontier.
+      cost += costs.pillar_admit_ns;
+      ExecSim* exec = replica.exec.get();
+      const SeqNum seq = del->seq;
+      if (seq >= exec->next_seq && !exec->reorder.contains(seq))
+        exec->reorder.emplace(seq, std::move(*del));
+      exec->reorder_peak = std::max(exec->reorder_peak, exec->reorder.size());
+      if (seq == exec->next_seq && !exec->drain_scheduled) {
+        exec->drain_scheduled = true;
+        cost += costs.handoff_ns;
+        exec->thread.post([exec]() -> double { return exec->drain(); });
+      }
     } else if (auto* cs = std::get_if<CheckpointStable>(&effect)) {
       SeqNum seq = cs->seq;
       for (auto& sibling : replica.logic) {
@@ -720,6 +727,13 @@ void ReplicaSim::complete_state_transfer(SeqNum observed) {
   exec->reorder.erase(exec->reorder.begin(),
                       exec->reorder.upper_bound(stable));
   exec->next_seq = stable + 1;
+  // The new frontier may already sit in the ring with no future publish
+  // edge to wake the stage: kick a drain explicitly.
+  if (!exec->drain_scheduled && exec->reorder.contains(exec->next_seq)) {
+    ExecSim* e = exec.get();
+    e->drain_scheduled = true;
+    e->thread.post([e]() -> double { return e->drain(); });
+  }
   // Slide every logic unit's window to the installed checkpoint, then
   // re-fetch the instances between it and the observed frontier.
   SeqNum upto = std::max(observed, stable);
@@ -732,42 +746,26 @@ void ReplicaSim::complete_state_transfer(SeqNum observed) {
 }
 
 void ReplicaSim::crash_reset() {
-  for (auto& unit : logic) unit->reset_core();
+  for (auto& unit : logic) {
+    unit->reset_core();
+    unit->last_gap_frontier = 0;
+  }
   exec->next_seq = 1;
   exec->reorder.clear();
-  exec->inbox.clear();
-  exec->last_gap_frontier = 0;
   transfer_inflight = false;
 }
 
 // ---------------------------------------------------------------------------
 // ExecSim implementation
 
-void ExecSim::enqueue(Deliver d) {
-  inbox.push_back(std::move(d));
-  if (drain_scheduled) return;
-  drain_scheduled = true;
-  ExecSim* self = this;
-  thread.post([self]() -> double { return self->drain(); });
-}
-
 double ExecSim::drain() {
-  const CostModel& costs = world.costs;
   drain_scheduled = false;
-  // One queue wakeup per burst; each buffered commit then pays only the
-  // de-locked admission cost (the runtime's ReorderRing + single-writer
-  // atomic counters instead of a std::map and a stats mutex).
-  double cost = costs.dequeue_ns;
+  // Pre-execution offload (§4.3.1): admission already happened on the
+  // pillar. One wakeup per frontier edge — the stage pays the dequeue,
+  // then executes the ready streak straight from the ring.
+  double cost = world.costs.dequeue_ns;
   std::map<std::uint32_t, std::vector<PendingReply>> replies;
-  while (!inbox.empty()) {
-    Deliver d = std::move(inbox.front());
-    inbox.pop_front();
-    cost += costs.exec_drain_ns;
-    if (d.seq >= next_seq && !reorder.contains(d.seq))
-      reorder.emplace(d.seq, std::move(d));
-    reorder_peak = std::max(reorder_peak, reorder.size());
-    cost += apply_ready(replies);
-  }
+  cost += apply_ready(replies);
   return cost + flush_replies(replies);
 }
 
@@ -824,7 +822,10 @@ double ExecSim::apply_ready(
     ++next_seq;
 
     if (seq % cfg.protocol.checkpoint_interval == 0) {
-      cost += costs.digest_base_ns + costs.handoff_ns;
+      // The stage pays the digest; the StartCheckpoint signal is mailed
+      // to the owning pillar, whose poll picks it up (the dequeue_ns in
+      // start_checkpoint) — no exec-side hand-off anymore (§4.3.1).
+      cost += costs.digest_base_ns;
       std::uint32_t owner = static_cast<std::uint32_t>(
           (seq / cfg.protocol.checkpoint_interval) % replica.logic.size());
       LogicUnit* unit = replica.logic[owner].get();
@@ -877,24 +878,20 @@ double ExecSim::flush_replies(
   return cost;
 }
 
-double ExecSim::gap_check() {
-  if (reorder.empty() || next_seq != last_gap_frontier) {
-    last_gap_frontier = next_seq;
+double LogicUnit::gap_check() {
+  // Pre-execution offload (§4.3.1): each pillar polls the shared frontier
+  // and times its own stall; a stalled frontier makes it fill its *own*
+  // slice up to the highest admitted instance (§4.2.1). Self-detected on
+  // this thread — no exec-side hand-off.
+  ExecSim* exec = replica.exec.get();
+  if (exec->reorder.empty() || exec->next_seq != last_gap_frontier) {
+    last_gap_frontier = exec->next_seq;
     return 50.0;
   }
-  // Stalled since the previous check: ask every logic unit to fill its
-  // slice up to the highest buffered instance (§4.2.1).
-  SeqNum target = reorder.rbegin()->first;
-  SeqNum frontier = next_seq;
-  double cost = 0;
-  for (auto& unit_ptr : replica.logic) {
-    LogicUnit* unit = unit_ptr.get();
-    cost += world.costs.handoff_ns;
-    unit->thread.post([unit, target, frontier]() -> double {
-      return unit->fill_gap(target, frontier);
-    });
-  }
-  return cost + 100.0;
+  const SeqNum target = exec->reorder.rbegin()->first;
+  const SeqNum frontier = exec->next_seq;
+  core->fill_gap_upto(target, world.now_virtual_us(), frontier);
+  return 100.0 + world.costs.logic_per_message_ns + drain_effects();
 }
 
 // ---------------------------------------------------------------------------
@@ -989,8 +986,12 @@ double ClientFleet::on_reply(SimClient& client, RequestId rid,
 void arm_gap_checks(World& world, ReplicaSim* replica, SimTime period,
                     SimTime until) {
   world.events.schedule_in(period, [&world, replica, period, until] {
-    ExecSim* exec = replica->exec.get();
-    exec->thread.post([exec]() -> double { return exec->gap_check(); });
+    // Pillar-side gap polls (§4.3.1): every logic unit checks its own
+    // stall timer against the shared execution frontier.
+    for (auto& unit_ptr : replica->logic) {
+      LogicUnit* unit = unit_ptr.get();
+      unit->thread.post([unit]() -> double { return unit->gap_check(); });
+    }
     if (world.events.now() < until)
       arm_gap_checks(world, replica, period, until);
   });
@@ -1023,7 +1024,11 @@ SimResult run_simulation(const SimConfig& config) {
 
   SimTime end = config.warmup + config.measure;
   for (auto& replica : world.replicas) {
-    arm_gap_checks(world, replica.get(), 1'000'000 /*1 ms*/, end);
+    // Pillar-side stall polls every 100 us: the threaded runtime's
+    // pillars check the frontier each loop iteration (microseconds), so
+    // the poll period models reaction latency, not work — each no-stall
+    // poll costs ~50 ns of pillar time.
+    arm_gap_checks(world, replica.get(), 100'000 /*100 us*/, end);
     if (config.protocol.retransmit_interval_us != 0)
       arm_ticks(world, replica.get(),
                 config.protocol.retransmit_interval_us * 500 /*half, in ns*/,

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <thread>
 
 #include "app/null_service.hpp"
 #include "common/invariant.hpp"
@@ -15,7 +18,8 @@ namespace {
 using namespace copbft::core;
 using namespace copbft::protocol;
 
-/// Records PillarCommands routed by the execution stage.
+/// Records PillarCommands the pillars pick up from the stage via
+/// poll_pillar() (pre-execution offload: the stage no longer pushes them).
 struct CommandLog {
   std::mutex mutex;
   std::condition_variable cv;
@@ -69,18 +73,37 @@ class ExecutionStageTest : public ::testing::Test {
     config_.gap_timeout_us = 10'000;
     crypto_ = crypto::make_real_crypto(3);
     service_ = std::make_unique<app::NullService>(4);
-    stage_ = std::make_unique<ExecutionStage>(
-        /*self=*/1, config_, *service_, *crypto_, transport_,
-        [this](std::uint32_t pillar, PillarCommand cmd) {
-          log_.record(pillar, std::move(cmd));
-        });
+    stage_ = std::make_unique<ExecutionStage>(/*self=*/1, config_, *service_,
+                                              *crypto_, transport_);
     if (offload)
       stage_->set_reply_fn(
           [this](ReplyTask& task) { return replies_.on_task(task); });
     stage_->start();
+    // Stand-in for the pillars' run loops: each pillar polls the stage for
+    // its own share of bookkeeping — checkpoint rounds it owns, gap fills
+    // for its slice — and we record what it picked up.
+    pump_ = std::thread([this, pillars] {
+      std::vector<PillarCommand> out;
+      while (!pump_stop_.load(std::memory_order_acquire)) {
+        const auto now =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        for (std::uint32_t p = 0; p < pillars; ++p) {
+          out.clear();
+          stage_->poll_pillar(p, static_cast<std::uint64_t>(now), out);
+          for (PillarCommand& cmd : out) log_.record(p, std::move(cmd));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
   }
 
   void TearDown() override {
+    if (pump_.joinable()) {
+      pump_stop_.store(true, std::memory_order_release);
+      pump_.join();
+    }
     if (stage_) stage_->stop();
   }
 
@@ -125,6 +148,8 @@ class ExecutionStageTest : public ::testing::Test {
   CommandLog log_;
   ReplyLog replies_;
   std::unique_ptr<ExecutionStage> stage_;
+  std::thread pump_;
+  std::atomic<bool> pump_stop_{false};
 };
 
 TEST_F(ExecutionStageTest, ExecutesInSequenceOrderDespiteArrivalOrder) {
@@ -207,8 +232,13 @@ TEST_F(ExecutionStageTest, CheckpointTriggeredAtIntervalWithRoundRobinOwner) {
     if (const auto* cp = std::get_if<StartCheckpoint>(&cmd))
       checkpoints.emplace_back(pillar, cp->seq);
   ASSERT_GE(checkpoints.size(), 2u);
+  // Both signals may land in the same poll round, so the pickup order
+  // between pillars is arbitrary — order by sequence number.
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
   // interval 10: checkpoint at 10 owned by pillar (10/10)%2=1, at 20 by
-  // (20/10)%2=0 — the paper's round-robin checkpoint distribution.
+  // (20/10)%2=0 — the paper's round-robin checkpoint distribution. Each
+  // signal is picked up only by the owning pillar's poll.
   EXPECT_EQ(checkpoints[0], (std::pair<std::uint32_t, SeqNum>{1u, 10u}));
   EXPECT_EQ(checkpoints[1], (std::pair<std::uint32_t, SeqNum>{0u, 20u}));
 }
@@ -216,8 +246,8 @@ TEST_F(ExecutionStageTest, CheckpointTriggeredAtIntervalWithRoundRobinOwner) {
 TEST_F(ExecutionStageTest, GapFillRequestedWhenStalled) {
   start();
   stage_->submit(batch(5, {50}));  // seqs 1-4 missing
-  // Wait until *every* pillar got its fill request: the commands are
-  // issued one by one, so waiting for the first only would race the rest.
+  // Each pillar times its own stall against the shared frontier and
+  // requests a fill for its own slice — wait until every pillar fired.
   ASSERT_TRUE(log_.wait_for([&](const auto& commands) {
     std::set<std::uint32_t> pillars;
     for (const auto& [pillar, cmd] : commands)

@@ -78,8 +78,7 @@ class InvariantTest : public ::testing::Test {
     crypto_ = crypto::make_real_crypto(3);
     service_ = std::make_unique<app::NullService>(4);
     stage_ = std::make_unique<ExecutionStage>(
-        /*self=*/1, config_, *service_, *crypto_, transport_,
-        [](std::uint32_t, PillarCommand) {});
+        /*self=*/1, config_, *service_, *crypto_, transport_);
     stage_->start();
   }
 
@@ -215,8 +214,7 @@ TEST_F(InvariantTest, MisroutedCheckpointCommandTrips) {
   crypto_ = crypto::make_real_crypto(3);
   service_ = std::make_unique<app::NullService>(4);
   stage_ = std::make_unique<ExecutionStage>(
-      /*self=*/0, config_, *service_, *crypto_, transport_,
-      [](std::uint32_t, PillarCommand) {});
+      /*self=*/0, config_, *service_, *crypto_, transport_);
   InPlaceOutbound outbound(/*self=*/0, config_.protocol.num_replicas,
                            *crypto_, transport_);
   Pillar pillar(/*self=*/0, /*index=*/0, config_, *crypto_, transport_,

@@ -188,6 +188,39 @@ TEST(PbftCore, SiblingStabilityNoticeSlidesWindow) {
   EXPECT_EQ(h.delivered_sorted(0).size(), 20u);
 }
 
+TEST(PbftCore, OverWindowMessagesDeferUntilWindowSlides) {
+  auto cfg = small_config();
+  cfg.checkpoint_interval = 5;
+  cfg.window = 10;
+  PillarGroupHarness h({cfg, SeqSlice{0, 1}, 1, false, 0.0, nullptr,
+                        /*auto_checkpoint=*/false});
+  for (int i = 1; i <= 15; ++i) h.client_request(1001, i, payload(i), {0});
+  h.run_until_quiescent();
+  ASSERT_EQ(h.delivered_sorted(0).size(), 10u);
+
+  // Only the leader learns of the stable checkpoint at 5: its window
+  // slides to (5, 15] and it proposes 11..15, one checkpoint interval
+  // above the followers' windows. The followers must park those
+  // proposals instead of dropping them (a drop would stall the
+  // instances until the retransmission timeout).
+  crypto::Digest d;
+  h.core(0).note_checkpoint_stable(5, d);
+  h.tick_all();
+  h.run_until_quiescent();
+  for (ReplicaId r = 1; r < 4; ++r) {
+    EXPECT_EQ(h.delivered_sorted(r).size(), 10u) << "replica " << r;
+    EXPECT_GE(h.core(r).stats().over_window_deferred, 5u) << "replica " << r;
+  }
+
+  // The followers catch up on the checkpoint: the parked proposals
+  // replay on the window slide and commit without any retransmission.
+  for (ReplicaId r = 1; r < 4; ++r) h.core(r).note_checkpoint_stable(5, d);
+  h.tick_all();
+  h.run_until_quiescent();
+  for (ReplicaId r = 0; r < 4; ++r)
+    EXPECT_EQ(h.delivered_sorted(r).size(), 15u) << "replica " << r;
+}
+
 // ---- gap filling (paper §4.2.1) -----------------------------------------
 
 TEST(PbftCore, FillGapProposesNoops) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "sim/machine.hpp"
 #include "sim/nic.hpp"
 #include "sim/simulation.hpp"
@@ -202,6 +204,77 @@ TEST_P(SimArchSmoke, DeterministicAcrossRuns) {
   EXPECT_EQ(a.completed_ops, b.completed_ops);
   EXPECT_EQ(a.instances, b.instances);
   EXPECT_DOUBLE_EQ(a.leader_tx_mbps, b.leader_tx_mbps);
+}
+
+// ---- bit-identical replay across the pillar-side admission path --------
+
+/// FNV-1a over every behaviourally meaningful SimResult field, doubles
+/// hashed by bit pattern: two runs agree on this digest only if they were
+/// bit-identical in effect, not merely close.
+std::uint64_t result_digest(const SimResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  auto mixd = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  };
+  mixd(r.throughput_ops);
+  mixd(r.latency_mean_us);
+  mix(r.latency_p50_us);
+  mix(r.latency_p99_us);
+  mixd(r.leader_tx_mbps);
+  mix(r.completed_ops);
+  mix(r.instances);
+  mix(r.state_transfers);
+  mix(r.laggard_next_seq);
+  mix(r.cluster_next_seq);
+  mix(r.fork_detections);
+  for (std::uint64_t seq : r.replica_next_seq) mix(seq);
+  for (std::uint64_t ops : r.ops_timeline) mix(ops);
+  for (const auto& stage : r.leader_stages) {
+    mix(stage.name.size());
+    mixd(stage.busy_fraction);
+    mix(stage.backlog);
+  }
+  mix(r.leader_reorder_peak);
+  return h;
+}
+
+/// The pillars admit commits into the reorder ring themselves (§4.3.1):
+/// the commit->execution path now runs on NP concurrently-modelled logic
+/// threads instead of one exec inbox, and a replay must still be
+/// bit-identical — including when a crash/recover cycle truncates the
+/// ring via state transfer mid-run.
+TEST(SimReplay, PillarAdmissionBitIdenticalAcrossReplays) {
+  SimConfig cfg = smoke_config(SimArch::kCop);
+  cfg.cores = 4;  // several pillars, so admission order is genuinely
+                  // interleaved across logic threads
+  cfg.clients = 80;
+  cfg.seed = 20260808;
+  cfg.protocol.retransmit_interval_us = 20'000;
+
+  const std::uint64_t first = result_digest(run_simulation(cfg));
+  for (int replay = 0; replay < 2; ++replay)
+    EXPECT_EQ(result_digest(run_simulation(cfg)), first)
+        << "replay " << replay << " diverged";
+
+  // Same, composed with checkpoint install: a replica crashes, recovers,
+  // and re-joins through state transfer while the others keep admitting.
+  cfg.faults.push_back({60 * 1'000'000ULL, 2, SimConfig::FaultEvent::Kind::kCrash});
+  cfg.faults.push_back({90 * 1'000'000ULL, 2, SimConfig::FaultEvent::Kind::kRecover});
+  SimResult faulted = run_simulation(cfg);
+  EXPECT_EQ(faulted.fork_detections, 0u);
+  const std::uint64_t fault_digest = result_digest(faulted);
+  EXPECT_NE(fault_digest, first) << "fault schedule must change the run";
+  EXPECT_EQ(result_digest(run_simulation(cfg)), fault_digest)
+      << "faulted replay diverged";
 }
 
 INSTANTIATE_TEST_SUITE_P(Architectures, SimArchSmoke,

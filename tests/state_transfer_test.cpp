@@ -128,8 +128,7 @@ class InstallTest : public ::testing::Test {
   std::tuple<SeqNum, crypto::Digest, Bytes> donor_checkpoint(SeqNum upto) {
     donor_service_ = std::make_unique<app::KvStore>(*crypto_);
     donor_ = std::make_unique<ExecutionStage>(
-        /*self=*/0, config_, *donor_service_, *crypto_, donor_transport_,
-        [](std::uint32_t, PillarCommand) {});
+        /*self=*/0, config_, *donor_service_, *crypto_, donor_transport_);
     donor_->set_snapshot_fn(
         [this](SeqNum seq, const crypto::Digest& digest, Bytes artifact) {
           snapshots_.record(seq, digest, std::move(artifact));
@@ -144,8 +143,7 @@ class InstallTest : public ::testing::Test {
   void start_laggard() {
     laggard_service_ = std::make_unique<app::KvStore>(*crypto_);
     laggard_ = std::make_unique<ExecutionStage>(
-        /*self=*/3, config_, *laggard_service_, *crypto_, laggard_transport_,
-        [](std::uint32_t, PillarCommand) {});
+        /*self=*/3, config_, *laggard_service_, *crypto_, laggard_transport_);
     laggard_->start();
   }
 
@@ -263,8 +261,7 @@ class ManagerTest : public ::testing::Test {
   void start_manager(ReplicaId self) {
     service_ = std::make_unique<app::KvStore>(*crypto_);
     exec_ = std::make_unique<ExecutionStage>(
-        self, config_, *service_, *crypto_, transport_,
-        [](std::uint32_t, PillarCommand) {});
+        self, config_, *service_, *crypto_, transport_);
     manager_ = std::make_unique<StateTransferManager>(
         self, config_, *crypto_, transport_, *exec_,
         [this](SeqNum seq, const crypto::Digest& digest, SeqNum upto) {
@@ -305,7 +302,7 @@ class ManagerTest : public ::testing::Test {
     app::KvStore donor_service(*crypto_);
     FakeTransport donor_transport;
     ExecutionStage donor(/*self=*/0, config_, donor_service, *crypto_,
-                         donor_transport, [](std::uint32_t, PillarCommand) {});
+                         donor_transport);
     SnapshotLog snapshots;
     donor.set_snapshot_fn(
         [&snapshots](SeqNum seq, const crypto::Digest& digest, Bytes a) {
