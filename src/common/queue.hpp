@@ -58,7 +58,14 @@ class BoundedQueue {
   bool try_push(T value) {
     {
       MutexLock lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) {
+        // Count full-queue rejections like push counts full-queue waits
+        // (closed is shutdown, not backpressure): the try_push callers
+        // are exactly the ones whose fallback path this counter exists
+        // to explain.
+        if (!closed_ && blocked_pushes_) blocked_pushes_->add();
+        return false;
+      }
       items_.push_back(std::move(value));
       publish_depth();
     }
@@ -72,7 +79,10 @@ class BoundedQueue {
   bool try_push_ref(T& value) {
     {
       MutexLock lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) {
+        if (!closed_ && blocked_pushes_) blocked_pushes_->add();
+        return false;
+      }
       items_.push_back(std::move(value));
       publish_depth();
     }

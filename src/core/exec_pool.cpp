@@ -1,0 +1,164 @@
+#include "core/exec_pool.hpp"
+
+#include "common/invariant.hpp"
+
+namespace copbft::core {
+namespace {
+
+/// Per-worker SPSC ring capacity. Bounds stage run-ahead: at most this
+/// many dispatched-but-unretired jobs per worker, after which the stage
+/// retires (in order) before dispatching more.
+constexpr std::uint32_t kRingSlots = 256;
+
+/// Spin iterations before a waiter parks on its cv. The pool's cadences
+/// are sub-microsecond (one service call), so a short spin absorbs the
+/// common case and the park path only runs on genuinely idle edges.
+constexpr int kSpins = 4096;
+
+}  // namespace
+
+ExecPool::ExecPool(std::uint32_t workers, app::Service& service)
+    : service_(service) {
+  COP_INVARIANT(workers >= 1, "ExecPool needs >= 1 worker, got %u", workers);
+  workers_v_.reserve(workers ? workers : 1);
+  for (std::uint32_t i = 0; i < (workers ? workers : 1); ++i) {
+    auto w = std::make_unique<Worker>();
+    w->ring = std::vector<Job>(kRingSlots);
+    workers_v_.push_back(std::move(w));
+  }
+}
+
+ExecPool::~ExecPool() { stop(); }
+
+void ExecPool::start() {
+  stop_.store(false, std::memory_order_release);
+  for (std::uint32_t i = 0; i < workers(); ++i) {
+    Worker* w = workers_v_[i].get();
+    w->thread = named_thread("exwk-" + std::to_string(i),
+                             [this, w] { worker_loop(*w); });
+  }
+}
+
+void ExecPool::stop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& w : workers_v_) {
+    {
+      MutexLock lock(w->mutex);
+      w->wake_pending = true;
+    }
+    w->cv.notify_all();
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+COP_HOT bool ExecPool::can_dispatch(std::uint32_t worker) const {
+  const Worker& w = *workers_v_[worker];
+  return w.ring[w.head % kRingSlots].state.load(std::memory_order_acquire) ==
+         kFree;
+}
+
+COP_HOT std::uint32_t ExecPool::dispatch(std::uint32_t worker,
+                                         const protocol::Request* request) {
+  Worker& w = *workers_v_[worker];
+  const std::uint32_t slot = w.head % kRingSlots;
+  Job& job = w.ring[slot];
+  job.request = request;
+  // seq_cst publish pairs with the worker's seq_cst parked_ handshake:
+  // either the worker's final empty-check sees this job, or we see
+  // parked_ and wake it.
+  job.state.store(kReady, std::memory_order_seq_cst);
+  ++w.head;
+  if (w.parked.load(std::memory_order_seq_cst)) wake_worker(w);
+  return slot;
+}
+
+COP_HOT Bytes ExecPool::retire(std::uint32_t worker, std::uint32_t slot) {
+  Worker& w = *workers_v_[worker];
+  Job& job = w.ring[slot];
+  if (job.state.load(std::memory_order_acquire) != kDone) wait_done(job);
+  Bytes result = std::move(job.result);
+  job.result = Bytes();
+  job.request = nullptr;
+  job.state.store(kFree, std::memory_order_release);
+  return result;
+}
+
+void ExecPool::wait_done(const Job& job) {
+  for (int i = 0; i < kSpins; ++i) {
+    if (job.state.load(std::memory_order_acquire) == kDone) return;
+  }
+  while (true) {
+    // Park with a seq_cst Dekker handshake: the worker re-checks
+    // stage_parked_ after every result publish (both seq_cst), so either
+    // it sees our flag and notifies, or we see kDone before waiting.
+    stage_parked_.store(true, std::memory_order_seq_cst);
+    if (job.state.load(std::memory_order_seq_cst) == kDone) {
+      stage_parked_.store(false, std::memory_order_seq_cst);
+      return;
+    }
+    {
+      CvLock lock(completion_mutex_);
+      if (!completion_pending_ &&
+          job.state.load(std::memory_order_seq_cst) != kDone)
+        completion_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      completion_pending_ = false;
+    }
+    stage_parked_.store(false, std::memory_order_seq_cst);
+    if (job.state.load(std::memory_order_acquire) == kDone) return;
+  }
+}
+
+void ExecPool::wake_worker(Worker& w) {
+  {
+    MutexLock lock(w.mutex);
+    w.wake_pending = true;
+  }
+  w.cv.notify_one();
+}
+
+void ExecPool::park_worker(Worker& w, const Job& next) {
+  w.parked.store(true, std::memory_order_seq_cst);
+  if (next.state.load(std::memory_order_seq_cst) == kReady ||
+      stop_.load(std::memory_order_acquire)) {
+    w.parked.store(false, std::memory_order_seq_cst);
+    return;
+  }
+  {
+    CvLock lock(w.mutex);
+    if (!w.wake_pending &&
+        next.state.load(std::memory_order_seq_cst) != kReady &&
+        !stop_.load(std::memory_order_acquire))
+      w.cv.wait_for(lock, std::chrono::milliseconds(1));
+    w.wake_pending = false;
+  }
+  w.parked.store(false, std::memory_order_seq_cst);
+}
+
+void ExecPool::worker_loop(Worker& w) {
+  std::uint32_t at = 0;
+  int idle = 0;
+  while (true) {
+    Job& job = w.ring[at % kRingSlots];
+    if (job.state.load(std::memory_order_acquire) == kReady) {
+      idle = 0;
+      job.result = service_.execute(*job.request);
+      job.state.store(kDone, std::memory_order_seq_cst);
+      // Dekker pairing with wait_done's park sequence (both seq_cst).
+      if (stage_parked_.load(std::memory_order_seq_cst)) {
+        {
+          MutexLock lock(completion_mutex_);
+          completion_pending_ = true;
+        }
+        completion_cv_.notify_one();
+      }
+      ++at;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (++idle < kSpins) continue;
+    idle = 0;
+    park_worker(w, job);
+  }
+}
+
+}  // namespace copbft::core

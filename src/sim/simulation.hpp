@@ -60,6 +60,11 @@ struct SimConfig {
   std::uint32_t num_pillars = 0;
   /// TOP/SMaRt auxiliary thread-pool size; 0 = auto.
   std::uint32_t pool_threads = 0;
+  /// COP execution worker pool (conflict-aware parallel execution). Only
+  /// meaningful for services that shard (kNull; the coordination service
+  /// classifies everything global and stays sequential). 0 = auto policy
+  /// (see exec_pool()); UINT32_MAX = off (sequential execution stage).
+  std::uint32_t exec_workers = 0;
 
   // ---- workload ----
   std::uint32_t clients = 800;
@@ -150,6 +155,26 @@ struct SimConfig {
   std::uint32_t pillars() const {
     if (arch != SimArch::kCop) return 1;
     return num_pillars != 0 ? num_pillars : 2 * cores;
+  }
+  /// Resolved execution-pool size. Workers only help a service whose
+  /// requests classify onto shards (kNull; the coordination service is
+  /// all-global and stays sequential). The auto policy follows the
+  /// measured regimes (docs/performance.md "What it buys"): once the
+  /// service cost dominates the per-job dispatch+retire overhead the
+  /// sequential stage saturates and the pool must spread the work (4
+  /// workers). Below that bar the pool is overhead management: batched
+  /// runs retire hundreds of requests per burst, so in-order retirement
+  /// waits for the worker anyway and sequential wins — pool off; in
+  /// unbatched runs one worker hides the service call behind the stage's
+  /// own dispatch/retire bookkeeping without adding oversubscription.
+  std::uint32_t exec_pool() const {
+    if (arch != SimArch::kCop || service == SimService::kCoordination)
+      return 0;
+    if (exec_workers == UINT32_MAX) return 0;
+    if (exec_workers != 0) return exec_workers;
+    const double per_job = costs.exec_dispatch_ns + costs.exec_retire_ns;
+    if (costs.exec_base_ns > 4.0 * per_job) return 4;
+    return protocol.batching ? 0 : 1;
   }
   std::uint32_t pool() const {
     if (pool_threads != 0) return pool_threads;

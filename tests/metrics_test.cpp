@@ -176,6 +176,33 @@ TEST(MetricsQueue, DepthGaugeAndBlockedPushCounter) {
   EXPECT_EQ(depth.max(), 2) << "watermark survives the drain";
 }
 
+TEST(MetricsQueue, TryPushCountsBlockedLikePush) {
+  BoundedQueue<int> q(1);
+  metrics::Gauge depth;
+  metrics::Counter blocked;
+  q.instrument(depth, blocked);
+
+  ASSERT_TRUE(q.try_push(1));
+  EXPECT_EQ(blocked.value(), 0u) << "successful pushes are not backpressure";
+
+  // A full queue rejects — and must count, exactly like push counts its
+  // full-queue waits, or dashboards undercount backpressure wherever the
+  // caller uses the non-blocking fallback (reply offload, gap polls).
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_EQ(blocked.value(), 1u);
+
+  int kept = 3;
+  EXPECT_FALSE(q.try_push_ref(kept));
+  EXPECT_EQ(kept, 3) << "try_push_ref leaves the value intact on failure";
+  EXPECT_EQ(blocked.value(), 2u);
+
+  // Closed-queue rejection is shutdown, not backpressure: no count.
+  q.close();
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_FALSE(q.try_push_ref(kept));
+  EXPECT_EQ(blocked.value(), 2u);
+}
+
 #endif  // COP_METRICS_ENABLED
 
 // ---- request-lifecycle trace ------------------------------------------
