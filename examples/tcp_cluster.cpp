@@ -21,14 +21,13 @@ int main() {
   constexpr std::uint32_t kPillars = 2;
   const protocol::ClientId kClient = protocol::kClientIdBase;
 
-  // Address book: replicas 0..3 and the client each listen on their own
-  // port (replies flow over a replica->client connection).
+  // Address book: only the replicas listen. The client dials them and its
+  // replies ride back over those same connections (event-loop ingress) —
+  // no client listen port, no dial-back.
   std::map<crypto::KeyNodeId, transport::TcpPeer> peers;
   for (protocol::ReplicaId r = 0; r < 4; ++r)
     peers[protocol::replica_node(r)] = {"127.0.0.1",
                                         static_cast<std::uint16_t>(kBasePort + r)};
-  peers[protocol::client_node(kClient)] = {
-      "127.0.0.1", static_cast<std::uint16_t>(kBasePort + 100)};
 
   std::vector<std::unique_ptr<transport::TcpTransport>> transports;
   for (protocol::ReplicaId r = 0; r < 4; ++r) {
@@ -42,10 +41,9 @@ int main() {
     }
   }
   auto client_transport = std::make_unique<transport::TcpTransport>(
-      protocol::client_node(kClient),
-      static_cast<std::uint16_t>(kBasePort + 100), peers);
+      protocol::client_node(kClient), /*listen_port=*/0, peers);
   if (!client_transport->start()) {
-    std::fprintf(stderr, "client: failed to listen\n");
+    std::fprintf(stderr, "client: failed to start\n");
     return 1;
   }
 

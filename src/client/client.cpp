@@ -42,7 +42,11 @@ Client::Client(ClientConfig config, const crypto::CryptoProvider& crypto,
       m_latency_us_(metrics::MetricsRegistry::global().histogram(
           "client.latency_us")) {
   inbox_ = std::make_shared<transport::Inbox>(4096);
+  // Replies arrive on lane 0 (dedicated reply lane) but also, over the
+  // event-loop transport, on the lane of the connection the client dialed
+  // (replies ride back over the request connection); register both.
   transport_.register_sink(0, inbox_);
+  if (lane() != 0) transport_.register_sink(lane(), inbox_);
 }
 
 Client::~Client() { stop(); }

@@ -76,11 +76,15 @@ class BoundedQueue {
   /// Non-blocking push that leaves `value` untouched on failure, so the
   /// caller can fall back to handling it locally (e.g. the execution
   /// stage sending a reply inline when a pillar's queue is saturated).
-  bool try_push_ref(T& value) {
+  /// `count_blocked=false` suppresses the blocked-push counter: transport
+  /// admission probes a full queue as a matter of course (kBusy means
+  /// "requeue at ingress", not "a stage thread stalled") and must not
+  /// masquerade as pillar-side backpressure in the metrics.
+  bool try_push_ref(T& value, bool count_blocked = true) {
     {
       MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) {
-        if (!closed_ && blocked_pushes_) blocked_pushes_->add();
+        if (count_blocked && !closed_ && blocked_pushes_) blocked_pushes_->add();
         return false;
       }
       items_.push_back(std::move(value));

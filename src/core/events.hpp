@@ -50,16 +50,6 @@ struct FetchMissing {
   protocol::SeqNum upto = 0;
 };
 
-using PillarCommand =
-    std::variant<StartCheckpoint, NoteStable, FillGap, FetchMissing>;
-
-/// A message that an upstream stage already decoded (and possibly
-/// verified): the ingress stage of TOP, the verification workers of the
-/// SMaRt baseline. COP pillars decode in place and never use this.
-struct PreparedInput {
-  protocol::IncomingMessage im;
-};
-
 // ---- execution-stage -> protocol-logic reply offload ----------------------
 
 /// Offloaded post-execution (paper §4.3.2): everything a pillar needs to
@@ -83,6 +73,20 @@ struct ReplyTask {
   std::shared_ptr<const std::vector<protocol::Request>> requests;
   /// Index of the request within `requests` (when non-null).
   std::uint32_t index = 0;
+};
+
+/// Intra-replica work a pillar drains with priority over network frames.
+/// ReplyTask rides here (not in its own queue slot) so reply offload and
+/// bookkeeping commands share the uninstrumented command channel and never
+/// compete with ingress frames for the pillar's admission budget.
+using PillarCommand = std::variant<StartCheckpoint, NoteStable, FillGap,
+                                   FetchMissing, ReplyTask>;
+
+/// A message that an upstream stage already decoded (and possibly
+/// verified): the ingress stage of TOP, the verification workers of the
+/// SMaRt baseline. COP pillars decode in place and never use this.
+struct PreparedInput {
+  protocol::IncomingMessage im;
 };
 
 /// Everything a protocol-logic thread consumes: network frames,

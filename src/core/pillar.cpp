@@ -83,7 +83,7 @@ void Pillar::run() {
     // rounds it owns and gap fills for its slice.
     poll_out_.clear();
     exec_.poll_pillar(index_, now_us(), poll_out_);
-    for (const PillarCommand& command : poll_out_) handle_command(command);
+    for (PillarCommand& command : poll_out_) handle_command(command);
     if (event) {
       if (auto* frame = std::get_if<transport::ReceivedFrame>(&*event)) {
         handle_frame(*frame);
@@ -165,8 +165,11 @@ COP_HOT void Pillar::feed_request(protocol::Request req, bool verified) {
   core_.on_request(std::move(req), now_us(), verified);
 }
 
-void Pillar::handle_command(const PillarCommand& command) {
-  if (const auto* cp = std::get_if<StartCheckpoint>(&command)) {
+void Pillar::handle_command(PillarCommand& command) {
+  if (auto* reply = std::get_if<ReplyTask>(&command)) {
+    // Reply offload rides the command channel (see try_post_reply).
+    process_reply(std::move(*reply));
+  } else if (const auto* cp = std::get_if<StartCheckpoint>(&command)) {
     // Checkpoint agreements are distributed round-robin over the pillars
     // (paper §4.2.2); running one on the wrong pillar would agree the
     // checkpoint on the wrong lane and desynchronize log truncation.

@@ -49,6 +49,18 @@ class Pillar final : public transport::FrameSink {
   bool deliver(transport::ReceivedFrame frame) override {
     return queue_.push(PillarEvent{std::move(frame)});
   }
+  /// Non-blocking admission for the event-loop transport: a full queue is
+  /// kBusy (the loop queues or sheds at ingress), never a blocked loop
+  /// thread. count_blocked=false — the blocked_pushes counter means "a
+  /// stage thread stalled", and an admission probe is not that.
+  transport::Admit try_deliver(transport::ReceivedFrame& frame) override {
+    PillarEvent event{std::move(frame)};
+    if (queue_.try_push_ref(event, /*count_blocked=*/false))
+      return transport::Admit::kAdmitted;
+    frame = std::move(std::get<transport::ReceivedFrame>(event));
+    return queue_.closed() ? transport::Admit::kClosed
+                           : transport::Admit::kBusy;
+  }
   void close() override { queue_.close(); }
 
   /// Prepared messages from upstream pipeline stages.
@@ -60,10 +72,14 @@ class Pillar final : public transport::FrameSink {
   /// the execution stage must never wait on a pillar (the pillar may
   /// itself be blocked submitting to the execution stage). On failure the
   /// task is left intact so the caller can seal inline.
+  /// Routed through the command channel (uninstrumented, ample headroom,
+  /// drained with priority) so reply offload never competes with ingress
+  /// frames for the main queue's admission budget — under overload the
+  /// transport sheds *requests*, not finished replies.
   bool try_post_reply(ReplyTask& task) {
-    PillarEvent event{std::move(task)};
-    if (queue_.try_push_ref(event)) return true;
-    task = std::move(std::get<ReplyTask>(event));
+    PillarCommand command{std::move(task)};
+    if (commands_.try_push_ref(command, /*count_blocked=*/false)) return true;
+    task = std::move(std::get<ReplyTask>(command));
     return false;
   }
 
@@ -92,7 +108,7 @@ class Pillar final : public transport::FrameSink {
   void publish_stats();
   void handle_frame(transport::ReceivedFrame& frame);
   void handle_prepared(PreparedInput& input);
-  void handle_command(const PillarCommand& command);
+  void handle_command(PillarCommand& command);
   void process_reply(ReplyTask task);
   void feed_request(protocol::Request req, bool verified);
   void drain_effects();

@@ -74,6 +74,17 @@ class StateTransferManager final : public transport::FrameSink {
   bool deliver(transport::ReceivedFrame frame) override {
     return queue_.push(Event{std::move(frame)});
   }
+  /// Non-blocking admission for the event-loop transport (state-transfer
+  /// traffic is replica-to-replica, so kBusy here turns into TCP
+  /// backpressure on the peer, never a blocked loop thread).
+  transport::Admit try_deliver(transport::ReceivedFrame& frame) override {
+    Event event{std::move(frame)};
+    if (queue_.try_push_ref(event, /*count_blocked=*/false))
+      return transport::Admit::kAdmitted;
+    frame = std::move(std::get<transport::ReceivedFrame>(event));
+    return queue_.closed() ? transport::Admit::kClosed
+                           : transport::Admit::kBusy;
+  }
   void close() override { queue_.close(); }
 
   /// Execution stage produced a checkpoint artifact (any thread).

@@ -1,0 +1,405 @@
+// Epoll event-loop engine for the TCP transport (production ingress).
+//
+// One EventLoop is one lane thread: a level-triggered epoll multiplexing
+// every connection assigned to the lane — tens of thousands of client
+// sockets map onto NP lane threads instead of one thread each. Reads are
+// batched (one wakeup drains a socket and decodes every complete frame in
+// the buffer), writes go through per-connection outbound queues flushed
+// with writev so back-to-back replies coalesce into one syscall, and
+// ingress runs under explicit admission control: a frame the sink cannot
+// take right now is queued with a deadline inside a bounded per-lane
+// budget, or shed — the loop never blocks on a sink, so a saturated
+// pillar can slow its own lane but cannot wedge the transport.
+//
+// Two connection classes, decided by the owning transport:
+//   * sheddable (client-facing): shed-or-queue-with-deadline admission;
+//     clients retransmit, so dropping under overload is the correct
+//     backpressure signal (ingress_shed / ingress_deadline_drops).
+//   * lossless (replica-to-replica): on kBusy the loop parks the decoded
+//     frames and disarms EPOLLIN — TCP flow control pushes back on the
+//     peer; nothing is dropped and nothing blocks.
+#pragma once
+
+#include <sys/epoll.h>
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/hot.hpp"
+#include "common/metrics.hpp"
+#include "common/threading.hpp"
+#include "transport/transport.hpp"
+
+namespace copbft::transport {
+
+class EventLoop;
+
+/// Incremental length-prefixed frame decoder (u32 host-order length, then
+/// payload — the same wire format the blocking transport used). Feed it
+/// arbitrary byte chunks; it surfaces every completed frame. The length
+/// header is validated against `max_frame` BEFORE the payload buffer is
+/// allocated: a Byzantine peer sending one hostile 4-byte header must not
+/// be able to trigger a huge allocation.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_frame) : max_frame_(max_frame) {}
+
+  /// Adjusts the bound for frames whose header has not been read yet
+  /// (connections are re-bounded once the hello identifies the peer class).
+  void set_max_frame(std::uint32_t max_frame) { max_frame_ = max_frame; }
+  std::uint32_t max_frame() const { return max_frame_; }
+
+  /// Consumes `len` bytes, appending completed frames to `out`. Returns
+  /// false on a length-header violation (frame larger than max_frame):
+  /// the connection is lying or corrupt and must be closed.
+  COP_HOT bool feed(const Byte* data, std::size_t len, std::vector<Bytes>& out);
+
+ private:
+  std::uint32_t max_frame_;
+  Byte header_[4] = {};
+  std::uint32_t header_have_ = 0;
+  bool in_frame_ = false;
+  Bytes frame_;
+  std::size_t frame_have_ = 0;
+};
+
+/// One queued outbound frame: the u32 wire header lives in the entry so
+/// the flush path can point an iovec straight at it (deque growth never
+/// moves existing elements).
+struct OutFrame {
+  std::uint32_t len = 0;  ///< wire header (host order, like the codec)
+  Bytes payload;
+};
+
+/// Builds up to `max_iov` iovecs over the queued frames, resuming a
+/// partially written front frame at byte `front_offset` (offset counts
+/// header + payload). Returns the number of iovecs produced. Pure —
+/// exercised directly by the torn-boundary tests.
+std::size_t build_flush_iovecs(const std::deque<OutFrame>& queue,
+                               std::size_t front_offset, struct iovec* iov,
+                               std::size_t max_iov);
+
+/// Advances the flush cursor by `written` bytes: pops fully sent frames,
+/// returns the new front_offset. `frames_done`/`bytes_released` report
+/// completed frames and their total wire bytes (for budgets + metrics).
+std::size_t consume_flushed(std::deque<OutFrame>& queue,
+                            std::size_t front_offset, std::size_t written,
+                            std::size_t& frames_done,
+                            std::size_t& bytes_released);
+
+/// One connection, owned by exactly one EventLoop at a time. Senders (any
+/// thread) enqueue frames under out_mutex_ and poke the owning loop; all
+/// socket I/O happens on loop threads. The fd is RAII-owned: whatever
+/// error path abandons the connection, the destructor closes it.
+class Conn {
+ public:
+  enum class Kind : std::uint8_t { kAccepted, kDialed };
+
+  /// Outcome of queueing one outbound frame.
+  enum class Offer : std::uint8_t {
+    kQueued,           ///< queued; a flush is already scheduled
+    kQueuedNeedFlush,  ///< queued; caller must schedule a flush
+    kOverflow,         ///< outbound budget exceeded; frame dropped
+    kClosed,           ///< connection is gone
+  };
+
+  Conn(int fd, Kind kind, crypto::KeyNodeId peer, LaneId lane,
+       std::uint32_t max_frame, std::size_t max_out_frames,
+       std::size_t max_out_bytes);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  int fd() const { return fd_; }
+  Kind kind() const { return kind_; }
+  crypto::KeyNodeId peer() const { return peer_; }
+  LaneId lane() const { return lane_; }
+  FrameDecoder& decoder() { return decoder_; }
+
+  /// Local identity a dialed conn spoke in its hello (the transport's own
+  /// node, or a multiplexed client endpoint's).
+  crypto::KeyNodeId local_from() const { return local_from_; }
+  void set_local_from(crypto::KeyNodeId from) { local_from_ = from; }
+
+  /// Loop that currently owns the connection's I/O (nullptr before
+  /// adoption). Set via set_owner before the conn is published to senders.
+  EventLoop* owner() const { return owner_.load(std::memory_order_acquire); }
+  void set_owner(EventLoop* loop) {
+    owner_.store(loop, std::memory_order_release);
+  }
+
+  /// Inbound destination. Resolved at dial time / hello time; may be
+  /// re-resolved lazily when a sink registers after the conn came up.
+  std::shared_ptr<FrameSink> sink() const {
+    MutexLock lock(out_mutex_);
+    return sink_;
+  }
+  void set_sink(std::shared_ptr<FrameSink> sink) {
+    MutexLock lock(out_mutex_);
+    sink_ = std::move(sink);
+  }
+
+  /// Sheddable = client-facing admission (shed-or-queue-with-deadline);
+  /// lossless = replica traffic (park + TCP backpressure).
+  bool sheddable() const { return sheddable_; }
+  void set_sheddable(bool sheddable) { sheddable_ = sheddable; }
+
+  /// Identity learned from the hello preamble (accepted conns).
+  void set_identity(crypto::KeyNodeId peer, LaneId lane) {
+    peer_ = peer;
+    lane_ = lane;
+    hello_done_ = true;
+  }
+  bool hello_done() const { return hello_done_; }
+
+  /// Sender-side enqueue (any thread, non-blocking).
+  Offer offer(Bytes frame);
+  bool has_pending_out() const {
+    MutexLock lock(out_mutex_);
+    return !out_.empty();
+  }
+
+  /// Flush protocol (loop thread): begin_flush snapshots iovecs for the
+  /// queued frames (returns 0 when drained, clearing the flush-scheduled
+  /// latch so the next sender re-schedules); end_flush retires `written`
+  /// bytes and returns the number of frames completed.
+  std::size_t begin_flush(struct iovec* iov, std::size_t max_iov);
+  std::size_t end_flush(std::size_t written, std::size_t& bytes_released);
+
+  /// Marks the conn dead and closes the fd; idempotent. Pending outbound
+  /// frames are discarded.
+  void mark_closed();
+
+  // Per-lane traffic/admission counters, bound once on the cold path
+  // (dial / hello) so per-frame accounting is a cached pointer. Null until
+  // bound; the loop guards every use.
+  void bind_rx(metrics::Counter* frames, metrics::Counter* bytes) {
+    rx_frames_ = frames;
+    rx_bytes_ = bytes;
+  }
+  void bind_tx(metrics::Counter* frames, metrics::Counter* bytes) {
+    tx_frames_ = frames;
+    tx_bytes_ = bytes;
+  }
+  void bind_ingress(metrics::Counter* accepted, metrics::Counter* shed,
+                    metrics::Counter* deadline_drops,
+                    metrics::Counter* egress_dropped) {
+    ingress_accepted_ = accepted;
+    ingress_shed_ = shed;
+    ingress_deadline_drops_ = deadline_drops;
+    egress_dropped_ = egress_dropped;
+  }
+  void count_rx(std::uint64_t frames, std::uint64_t bytes) {
+    if (rx_frames_) rx_frames_->add(frames);
+    if (rx_bytes_) rx_bytes_->add(bytes);
+  }
+  void count_tx(std::uint64_t frames, std::uint64_t bytes) {
+    if (tx_frames_) tx_frames_->add(frames);
+    if (tx_bytes_) tx_bytes_->add(bytes);
+  }
+  void count_ingress_accepted() {
+    if (ingress_accepted_) ingress_accepted_->add();
+  }
+  void count_ingress_shed() {
+    if (ingress_shed_) ingress_shed_->add();
+  }
+  void count_deadline_drop() {
+    if (ingress_deadline_drops_) ingress_deadline_drops_->add();
+  }
+  void count_egress_dropped() {
+    if (egress_dropped_) egress_dropped_->add();
+  }
+
+ private:
+  friend class EventLoop;
+
+  int fd_;  ///< closed by mark_closed() or the destructor (RAII)
+  const Kind kind_;
+  crypto::KeyNodeId peer_;
+  crypto::KeyNodeId local_from_ = 0;
+  LaneId lane_;
+  bool sheddable_ = false;
+  bool hello_done_ = false;
+
+  // ---- read side: loop-thread-only ----
+  FrameDecoder decoder_;
+  Byte hello_buf_[8] = {};
+  std::uint32_t hello_have_ = 0;
+  bool paused_ = false;     ///< EPOLLIN disarmed (lossless backpressure)
+  bool registered_ = false; ///< currently in the owner's epoll set
+  bool want_write_ = false; ///< EPOLLOUT armed (partial flush pending)
+  EventLoop* migrate_target_ = nullptr;
+  std::deque<ReceivedFrame> parked_;  ///< decoded but not yet admitted
+
+  // ---- write side: shared with sender threads ----
+  const std::size_t max_out_frames_;
+  const std::size_t max_out_bytes_;
+  mutable Mutex out_mutex_;
+  std::deque<OutFrame> out_ COP_GUARDED_BY(out_mutex_);
+  std::size_t out_bytes_ COP_GUARDED_BY(out_mutex_) = 0;
+  std::size_t front_offset_ COP_GUARDED_BY(out_mutex_) = 0;
+  bool flush_scheduled_ COP_GUARDED_BY(out_mutex_) = false;
+  bool closed_ COP_GUARDED_BY(out_mutex_) = false;
+  std::shared_ptr<FrameSink> sink_ COP_GUARDED_BY(out_mutex_);
+
+  std::atomic<EventLoop*> owner_{nullptr};
+
+  metrics::Counter* rx_frames_ = nullptr;
+  metrics::Counter* rx_bytes_ = nullptr;
+  metrics::Counter* tx_frames_ = nullptr;
+  metrics::Counter* tx_bytes_ = nullptr;
+  metrics::Counter* ingress_accepted_ = nullptr;
+  metrics::Counter* ingress_shed_ = nullptr;
+  metrics::Counter* ingress_deadline_drops_ = nullptr;
+  metrics::Counter* egress_dropped_ = nullptr;
+};
+
+struct EventLoopOptions {
+  /// Read buffer per recv() call (one buffer per loop, reused).
+  std::size_t read_chunk = 64 * 1024;
+  /// Fairness: max bytes drained from one connection per wakeup.
+  std::size_t max_read_per_wake = 256 * 1024;
+  /// Admission: max frames queued per lane awaiting a busy sink.
+  std::size_t ingress_retry_budget = 1024;
+  /// Admission: how long a queued frame may wait before it is dropped.
+  std::uint64_t ingress_retry_deadline_us = 20'000;
+  /// Idle epoll timeout (the loop polls at 1 ms while retries/parked
+  /// frames are pending).
+  int epoll_wait_ms = 100;
+};
+
+/// Callbacks into the owning transport. All run on the loop thread; they
+/// may take the transport's own locks (the transport never calls into the
+/// loop while holding them).
+struct EventLoopHooks {
+  /// A listener conn was accepted (fd is non-blocking, TCP_NODELAY set).
+  /// Return the Conn to adopt on this loop, or nullptr to refuse (the fd
+  /// is closed either way on refusal).
+  std::function<std::shared_ptr<Conn>(int fd)> on_accept;
+  /// The hello preamble completed: peer/lane are set. Bind the sink,
+  /// decoder bound and metrics; return the loop that should own the conn
+  /// from now on (usually lane % loops), or nullptr to reject it.
+  std::function<EventLoop*(const std::shared_ptr<Conn>&)> on_hello;
+  /// A conn with a null sink received traffic; return the sink to use
+  /// (or nullptr to drop the frame).
+  std::function<std::shared_ptr<FrameSink>(const std::shared_ptr<Conn>&)>
+      resolve_sink;
+  /// The conn was closed and removed from the loop.
+  std::function<void(const std::shared_ptr<Conn>&)> on_close;
+};
+
+/// One epoll lane thread. See file comment for the model.
+class EventLoop {
+ public:
+  EventLoop(std::string name, std::string metric_prefix, EventLoopOptions opts,
+            EventLoopHooks hooks);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Transfers ownership of a listening socket (non-blocking) to the
+  /// loop. Call before start(); the loop closes it on exit.
+  void set_listener(int fd) { listen_fd_ = fd; }
+
+  bool start();
+  void request_stop();
+  void join();
+
+  /// Hands a connection to this loop (thread-safe). The caller must have
+  /// set_owner(this) before publishing the conn to any sender.
+  void adopt(std::shared_ptr<Conn> conn);
+
+  /// Asks the loop to flush `conn`'s outbound queue soon (thread-safe).
+  void schedule_flush(std::shared_ptr<Conn> conn);
+
+  /// Asks the loop to close `conn` (thread-safe; the close itself runs on
+  /// the loop thread so epoll bookkeeping stays single-threaded).
+  void request_close(std::shared_ptr<Conn> conn);
+
+  void wake();
+
+ private:
+  struct PendingFrame;
+
+  void run();
+  void drain_control(bool& stopping);
+  void dispatch(const struct epoll_event& ev, std::uint64_t now);
+  void accept_batch();
+  COP_HOT void handle_readable(const std::shared_ptr<Conn>& conn,
+                               std::uint64_t now);
+  bool consume_hello(const std::shared_ptr<Conn>& conn, const Byte*& data,
+                     std::size_t& len);
+  COP_HOT void route_frame(const std::shared_ptr<Conn>& conn, Bytes frame,
+                           std::uint64_t now);
+  void enqueue_retry(const std::shared_ptr<Conn>& conn, ReceivedFrame frame,
+                     std::uint64_t now);
+  std::deque<PendingFrame>& lane_retry(LaneId lane);
+  COP_HOT void flush_conn(const std::shared_ptr<Conn>& conn);
+  void pump_retries(std::uint64_t now);
+  void pump_paused();
+  void pause_reads(const std::shared_ptr<Conn>& conn);
+  void update_epoll_interest(const std::shared_ptr<Conn>& conn);
+  void set_want_write(const std::shared_ptr<Conn>& conn, bool want);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  void migrate(const std::shared_ptr<Conn>& conn, EventLoop* target);
+  void register_conn(const std::shared_ptr<Conn>& conn);
+  bool want_fast_poll() const;
+  std::shared_ptr<Conn> lookup(int fd);
+
+  const std::string name_;
+  const EventLoopOptions opts_;
+  const EventLoopHooks hooks_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  std::uint64_t listener_paused_until_us_ = 0;  ///< EMFILE backoff
+
+  Mutex mutex_;
+  bool stopping_ COP_GUARDED_BY(mutex_) = false;
+  std::vector<std::shared_ptr<Conn>> inbox_ COP_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Conn>> dirty_ COP_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Conn>> closing_ COP_GUARDED_BY(mutex_);
+
+  // ---- loop-thread-only state ----
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  struct PendingFrame {
+    std::shared_ptr<Conn> conn;
+    ReceivedFrame frame;
+    std::uint64_t deadline_us = 0;
+  };
+  /// Admission retry queues, indexed by lane (grown on demand).
+  std::vector<std::deque<PendingFrame>> retry_;
+  std::vector<std::shared_ptr<Conn>> paused_;
+  std::vector<Byte> scratch_;        ///< recv buffer
+  std::vector<Bytes> frames_;        ///< decode output scratch
+  std::size_t retry_depth_ = 0;      ///< total frames across retry_
+
+  // Observability: epoll wakeups, frames decoded per readable event,
+  // writev syscalls, and decode-protocol violations, per lane thread.
+  metrics::Counter& m_wakeups_;
+  metrics::Counter& m_writev_calls_;
+  metrics::Counter& m_protocol_errors_;
+  metrics::HistogramMetric& m_rx_batch_frames_;
+
+  std::jthread thread_;
+};
+
+/// Queues `frame` on `conn` and wakes the owning loop. Returns false when
+/// the frame was dropped (budget overflow or closed connection) — the
+/// transport's non-blocking send guarantee: a slow peer sheds egress
+/// instead of wedging the sending thread.
+bool submit_frame(const std::shared_ptr<Conn>& conn, Bytes frame);
+
+}  // namespace copbft::transport

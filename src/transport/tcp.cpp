@@ -1,6 +1,7 @@
 #include "transport/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -12,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -26,12 +28,15 @@ struct Hello {
   std::uint32_t lane;
 };
 
-constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
-
 std::string lane_metric(crypto::KeyNodeId self, LaneId lane,
                         const char* name) {
   return "tcp.node" + std::to_string(self) + ".lane" + std::to_string(lane) +
          "." + name;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 }  // namespace
@@ -59,86 +64,141 @@ bool write_all_fd(int fd, const Byte* data, std::size_t len) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Endpoint: a multiplexed client identity riding on the owning transport.
+
+class TcpTransport::Endpoint final : public Transport {
+ public:
+  Endpoint(TcpTransport* owner, crypto::KeyNodeId node)
+      : owner_(owner), node_(node) {}
+
+  void register_sink(LaneId /*lane*/,
+                     std::shared_ptr<FrameSink> sink) override {
+    // One sink per endpoint: a client's replies all come back over its own
+    // dialed connections, whatever lane they were sent on.
+    MutexLock lock(mutex_);
+    sink_ = std::move(sink);
+  }
+
+  bool send(crypto::KeyNodeId to, LaneId lane, Bytes frame) override {
+    {
+      MutexLock lock(mutex_);
+      if (closed_) return false;
+    }
+    // Never call into the owner while holding mutex_: the owner resolves
+    // sinks under its own lock and then takes ours (transport -> endpoint
+    // order); re-entering the transport here would invert it.
+    return owner_->send_from(node_, to, lane, std::move(frame));
+  }
+
+  void shutdown() override {
+    std::shared_ptr<FrameSink> sink;
+    {
+      MutexLock lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      sink = std::move(sink_);
+    }
+    owner_->drop_endpoint(node_);
+    if (sink) sink->close();
+  }
+
+  /// Shutdown driven by the owning transport (its maps are already being
+  /// torn down, so no drop_endpoint round-trip).
+  void close_sink() {
+    std::shared_ptr<FrameSink> sink;
+    {
+      MutexLock lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      sink = std::move(sink_);
+    }
+    if (sink) sink->close();
+  }
+
+  std::shared_ptr<FrameSink> sink() const {
+    MutexLock lock(mutex_);
+    return sink_;
+  }
+
+ private:
+  TcpTransport* const owner_;
+  const crypto::KeyNodeId node_;
+  mutable Mutex mutex_;
+  std::shared_ptr<FrameSink> sink_ COP_GUARDED_BY(mutex_);
+  bool closed_ COP_GUARDED_BY(mutex_) = false;
+};
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+
 TcpTransport::TcpTransport(crypto::KeyNodeId self, std::uint16_t listen_port,
-                           std::map<crypto::KeyNodeId, TcpPeer> peers)
-    : self_(self), listen_port_(listen_port), peers_(std::move(peers)) {}
+                           std::map<crypto::KeyNodeId, TcpPeer> peers,
+                           TcpOptions options)
+    : self_(self),
+      listen_port_(listen_port),
+      peers_(std::move(peers)),
+      options_(options),
+      m_accepted_conns_(metrics::MetricsRegistry::global().gauge(
+          "tcp.node" + std::to_string(self) + ".accepted_conns")) {}
 
 TcpTransport::~TcpTransport() { shutdown(); }
 
 bool TcpTransport::start() {
-  if (listen_port_ == 0) return true;
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  int yes = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(listen_port_);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 64) < 0) {
-    ::close(fd);
-    return false;
-  }
   {
     MutexLock lock(mutex_);
-    listen_fd_ = fd;
+    if (started_ || stopping_) return started_ && !stopping_;
+    started_ = true;
   }
-  // The accept loop works on its own copy of the fd; shutdown() closes
-  // listen_fd_ under the lock, which makes ::accept fail and the loop exit.
-  accept_thread_ = named_thread("tcp-accept", [this, fd] { accept_loop(fd); });
-  return true;
-}
-
-void TcpTransport::accept_loop(int listen_fd) {
-  while (true) {
-    int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;  // signal, not shutdown
-      return;  // listen socket closed during shutdown
-    }
+  int listen_fd = -1;
+  if (listen_port_ != 0) {
+    listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) return false;
     int yes = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
-    MutexLock lock(mutex_);
-    if (stopping_) {
-      ::close(fd);
-      return;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(listen_port_);
+    // Deep backlog: a soak fleet dials thousands of clients at once and
+    // the accept path drains in batches, not per-SYN.
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(listen_fd, 4096) < 0) {
+      ::close(listen_fd);
+      return false;
     }
-    accepted_fds_.push_back(fd);
-    recv_threads_.emplace_back(
-        named_thread("tcp-recv", [this, fd] { recv_loop(fd); }));
   }
-}
 
-void TcpTransport::recv_loop(int fd) {
-  Hello hello{};
-  if (!read_exact(fd, &hello, sizeof hello)) {
-    ::close(fd);
-    return;
+  EventLoopHooks hooks;
+  hooks.on_accept = [this](int fd) { return on_accept(fd); };
+  hooks.on_hello = [this](const std::shared_ptr<Conn>& conn) {
+    return on_hello(conn);
+  };
+  hooks.resolve_sink = [this](const std::shared_ptr<Conn>& conn) {
+    return sink_for_conn(conn);
+  };
+  hooks.on_close = [this](const std::shared_ptr<Conn>& conn) {
+    on_conn_closed(conn);
+  };
+  const std::uint32_t nloops = std::max(1u, options_.lane_threads);
+  for (std::uint32_t i = 0; i < nloops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(
+        "tcp-lane" + std::to_string(i),
+        "tcp.node" + std::to_string(self_) + ".loop" + std::to_string(i) + ".",
+        options_.loop, hooks));
   }
-  auto sink = sink_for(hello.lane);
-  if (!sink) {
-    COP_LOG_WARN("node %u: no sink for lane %u", self_, hello.lane);
-    ::close(fd);
-    return;
+  if (listen_fd >= 0) loops_[0]->set_listener(listen_fd);
+  for (auto& loop : loops_) {
+    if (!loop->start()) {
+      for (auto& l : loops_) l->request_stop();
+      for (auto& l : loops_) l->join();
+      loops_.clear();
+      return false;
+    }
   }
-  auto& registry = metrics::MetricsRegistry::global();
-  metrics::Counter& rx_frames =
-      registry.counter(lane_metric(self_, hello.lane, "rx_frames"));
-  metrics::Counter& rx_bytes =
-      registry.counter(lane_metric(self_, hello.lane, "rx_bytes"));
-  while (true) {
-    std::uint32_t len = 0;
-    if (!read_exact(fd, &len, sizeof len) || len > kMaxFrame) break;
-    Bytes frame(len);
-    if (len > 0 && !read_exact(fd, frame.data(), len)) break;
-    rx_frames.add();
-    rx_bytes.add(sizeof len + len);
-    if (!sink->deliver(ReceivedFrame{hello.from, hello.lane, std::move(frame)}))
-      break;  // sink closed
-  }
-  ::close(fd);
+  return true;
 }
 
 std::shared_ptr<FrameSink> TcpTransport::sink_for(LaneId lane) {
@@ -147,11 +207,26 @@ std::shared_ptr<FrameSink> TcpTransport::sink_for(LaneId lane) {
   return it == sinks_.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<FrameSink> TcpTransport::sink_for_conn(
+    const std::shared_ptr<Conn>& conn) {
+  // Dialed on behalf of a multiplexed client endpoint: inbound frames on
+  // this conn are that endpoint's replies, not ours.
+  if (conn->kind() == Conn::Kind::kDialed && conn->local_from() != self_) {
+    MutexLock lock(mutex_);
+    auto it = endpoints_.find(conn->local_from());
+    return it == endpoints_.end() ? nullptr : it->second->sink();
+  }
+  return sink_for(conn->lane());
+}
+
 void TcpTransport::register_sink(LaneId lane, std::shared_ptr<FrameSink> sink) {
   MutexLock lock(mutex_);
   sinks_[lane] = std::move(sink);
 }
 
+// connect_to / connect_with_retry run on the *sending* thread, not a loop
+// thread: the bounded retry schedule may sleep for hundreds of
+// milliseconds, which is exactly what the event loops must never do.
 int TcpTransport::connect_to(const TcpPeer& peer) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
@@ -220,89 +295,196 @@ int TcpTransport::connect_with_retry(const TcpPeer& peer) {
   }
 }
 
-bool TcpTransport::write_all(const OutConn& conn, const Byte* data,
-                             std::size_t len) {
-  return write_all_fd(conn.fd, data, len);
+void TcpTransport::bind_conn_metrics(const std::shared_ptr<Conn>& conn,
+                                     LaneId lane) {
+  auto& registry = metrics::MetricsRegistry::global();
+  conn->bind_rx(&registry.counter(lane_metric(self_, lane, "rx_frames")),
+                &registry.counter(lane_metric(self_, lane, "rx_bytes")));
+  conn->bind_tx(&registry.counter(lane_metric(self_, lane, "tx_frames")),
+                &registry.counter(lane_metric(self_, lane, "tx_bytes")));
+  conn->bind_ingress(
+      &registry.counter(lane_metric(self_, lane, "ingress_accepted")),
+      &registry.counter(lane_metric(self_, lane, "ingress_shed")),
+      &registry.counter(lane_metric(self_, lane, "ingress_deadline_drops")),
+      &registry.counter(lane_metric(self_, lane, "egress_dropped")));
+}
+
+std::shared_ptr<Conn> TcpTransport::on_accept(int fd) {
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) return nullptr;
+  }
+  // Identity is unknown until the hello: start with the hostile-client
+  // frame bound; on_hello() widens it for authenticated replica peers.
+  auto conn = std::make_shared<Conn>(
+      fd, Conn::Kind::kAccepted, /*peer=*/0, /*lane=*/0,
+      options_.max_frame_client, options_.conn_out_frames,
+      options_.conn_out_bytes);
+  m_accepted_conns_.add(1);
+  return conn;
+}
+
+EventLoop* TcpTransport::on_hello(const std::shared_ptr<Conn>& conn) {
+  const bool client = conn->peer() >= options_.client_node_floor;
+  conn->set_sheddable(client);
+  if (!client) conn->decoder().set_max_frame(options_.max_frame_replica);
+  auto sink = sink_for(conn->lane());
+  if (!sink) {
+    COP_LOG_WARN("node %u: no sink for lane %u", self_, conn->lane());
+    return nullptr;
+  }
+  conn->set_sink(std::move(sink));
+  bind_conn_metrics(conn, conn->lane());
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) return nullptr;
+    // Replies to this client go back over the connection it dialed;
+    // latest hello wins if the client reconnects.
+    if (client) accepted_routes_[conn->peer()] = conn;
+  }
+  return loop_for(conn->lane());
+}
+
+void TcpTransport::on_conn_closed(const std::shared_ptr<Conn>& conn) {
+  if (conn->kind() == Conn::Kind::kAccepted) m_accepted_conns_.add(-1);
+  MutexLock lock(mutex_);
+  if (conn->kind() == Conn::Kind::kAccepted) {
+    auto it = accepted_routes_.find(conn->peer());
+    if (it != accepted_routes_.end() && it->second == conn)
+      accepted_routes_.erase(it);
+  } else {
+    auto it = outgoing_.find(
+        DialKey{conn->local_from(), conn->peer(), conn->lane()});
+    if (it != outgoing_.end() && it->second == conn) outgoing_.erase(it);
+  }
 }
 
 bool TcpTransport::send(crypto::KeyNodeId to, LaneId lane, Bytes frame) {
-  OutConn* conn = nullptr;
+  return send_from(self_, to, lane, std::move(frame));
+}
+
+bool TcpTransport::send_from(crypto::KeyNodeId from, crypto::KeyNodeId to,
+                             LaneId lane, Bytes frame) {
+  std::shared_ptr<Conn> conn;
   {
     MutexLock lock(mutex_);
     if (stopping_) return false;
-    auto it = outgoing_.find({to, lane});
-    if (it != outgoing_.end()) conn = it->second.get();
+    if (to >= options_.client_node_floor) {
+      // Replies ride the connection the client dialed — no dial-back.
+      auto it = accepted_routes_.find(to);
+      if (it != accepted_routes_.end()) conn = it->second;
+    }
+    if (!conn) {
+      auto it = outgoing_.find(DialKey{from, to, lane});
+      if (it != outgoing_.end()) conn = it->second;
+    }
   }
-  if (!conn) {
-    // Connect outside mutex_: the retry schedule can block for hundreds of
-    // milliseconds, and holding the lock would freeze every other lane's
-    // sends (plus sink registration and shutdown) meanwhile.
-    auto peer = peers_.find(to);  // peers_ is immutable after construction
-    if (peer == peers_.end()) return false;
-    int fd = connect_with_retry(peer->second);
-    if (fd < 0) return false;
-    auto& registry = metrics::MetricsRegistry::global();
-    auto fresh = std::make_unique<OutConn>(
-        fd, registry.counter(lane_metric(self_, lane, "tx_frames")),
-        registry.counter(lane_metric(self_, lane, "tx_bytes")));
-    Hello hello{self_, lane};
-    // Not yet published: no writer contention on the hello, so the plain
-    // fd write is safe without fresh->write_mutex.
-    if (!write_all_fd(fresh->fd, reinterpret_cast<const Byte*>(&hello),
-                      sizeof hello)) {
-      ::close(fd);
-      return false;
-    }
-    MutexLock lock(mutex_);
-    if (stopping_) {
-      ::close(fd);
-      return false;
-    }
-    auto& slot = outgoing_[{to, lane}];
-    if (slot) {
-      // Another sender connected this (peer, lane) while we were outside
-      // the lock; keep the published one, drop ours.
-      ::close(fd);
-    } else {
-      registry.counter(lane_metric(self_, lane, "connects")).add();
-      slot = std::move(fresh);
-    }
-    conn = slot.get();
-  }
+  if (!conn) conn = dial(from, to, lane);
+  if (!conn) return false;
+  return submit_frame(conn, std::move(frame));
+}
 
-  // Frame: u32 length (host order is fine: both ends are this code on the
-  // same architecture family; the *protocol* encoding above is explicit).
-  std::uint32_t len = static_cast<std::uint32_t>(frame.size());
-  MutexLock wlock(conn->write_mutex);
-  if (!write_all(*conn, reinterpret_cast<const Byte*>(&len), sizeof len) ||
-      !write_all(*conn, frame.data(), frame.size()))
-    return false;
-  conn->tx_frames.add();
-  conn->tx_bytes.add(sizeof len + frame.size());
-  return true;
+std::shared_ptr<Conn> TcpTransport::dial(crypto::KeyNodeId from,
+                                         crypto::KeyNodeId to, LaneId lane) {
+  auto peer = peers_.find(to);  // peers_ is immutable after construction
+  if (peer == peers_.end()) return nullptr;
+  if (loops_.empty()) return nullptr;  // start() was never called
+  // Connect outside mutex_: the retry schedule can block for hundreds of
+  // milliseconds, and holding the lock would freeze every other lane's
+  // sends (plus sink registration and shutdown) meanwhile.
+  int fd = connect_with_retry(peer->second);
+  if (fd < 0) return nullptr;
+  const bool to_client = to >= options_.client_node_floor;
+  // Construct the RAII owner immediately: every failure path below — a
+  // hello write error, a raced shutdown, a lost publication race — drops
+  // the last reference and the destructor closes the fd.
+  auto conn = std::make_shared<Conn>(
+      fd, Conn::Kind::kDialed, to, lane,
+      to_client ? options_.max_frame_client : options_.max_frame_replica,
+      options_.conn_out_frames, options_.conn_out_bytes);
+  conn->set_local_from(from);
+  conn->set_sheddable(false);  // inbound here is replica traffic: lossless
+  Hello hello{from, lane};
+  // The hello goes out on the still-blocking socket (bounded 8-byte
+  // write); only then does the fd join the non-blocking loop machinery.
+  if (!write_all_fd(fd, reinterpret_cast<const Byte*>(&hello), sizeof hello))
+    return nullptr;
+  if (!set_nonblocking(fd)) return nullptr;
+  conn->set_sink(sink_for_conn(conn));  // may be null: resolved lazily
+  bind_conn_metrics(conn, lane);
+  conn->set_owner(loop_for(lane));
+  bool publish = false;
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) return nullptr;
+    auto& slot = outgoing_[DialKey{from, to, lane}];
+    if (slot) {
+      // Another sender dialed this (from, to, lane) while we were outside
+      // the lock; keep the published one, drop ours.
+      conn = slot;
+    } else {
+      metrics::MetricsRegistry::global()
+          .counter(lane_metric(self_, lane, "connects"))
+          .add();
+      slot = conn;
+      publish = true;
+    }
+  }
+  // Adopt outside mutex_ (lock order: the loop's hooks take mutex_).
+  if (publish) conn->owner()->adopt(conn);
+  return conn;
+}
+
+std::shared_ptr<Transport> TcpTransport::client_endpoint(
+    crypto::KeyNodeId node) {
+  MutexLock lock(mutex_);
+  if (stopping_) return nullptr;
+  auto& slot = endpoints_[node];
+  if (!slot) slot = std::make_shared<Endpoint>(this, node);
+  return slot;
+}
+
+void TcpTransport::drop_endpoint(crypto::KeyNodeId node) {
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    MutexLock lock(mutex_);
+    endpoints_.erase(node);
+    for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+      if (std::get<0>(it->first) == node) {
+        conns.push_back(it->second);
+        it = outgoing_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : conns) {
+    if (EventLoop* owner = conn->owner()) owner->request_close(std::move(conn));
+  }
 }
 
 void TcpTransport::shutdown() {
-  std::vector<std::jthread> recv_threads;
-  std::jthread accept_thread;
+  std::vector<std::shared_ptr<Endpoint>> endpoints;
   {
     MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
-    if (listen_fd_ >= 0) {
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    for (auto& [key, conn] : outgoing_)
-      if (conn && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-    for (int fd : accepted_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [node, endpoint] : endpoints_) endpoints.push_back(endpoint);
+  }
+  // Stop the loops first (outside mutex_ — their close hooks take it);
+  // each loop gives every connection one best-effort flush, then closes
+  // it, then closes the listener.
+  for (auto& loop : loops_) loop->request_stop();
+  for (auto& loop : loops_) loop->join();
+  {
+    MutexLock lock(mutex_);
     for (auto& [lane, sink] : sinks_)
       if (sink) sink->close();
-    recv_threads.swap(recv_threads_);
-    accept_thread = std::move(accept_thread_);
+    outgoing_.clear();
+    accepted_routes_.clear();
+    endpoints_.clear();
   }
-  // jthreads join on destruction here, outside the lock.
+  for (auto& endpoint : endpoints) endpoint->close_sink();
 }
 
 }  // namespace copbft::transport

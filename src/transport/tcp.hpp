@@ -1,19 +1,27 @@
-// TCP transport: one socket per (peer, lane) and direction.
+// TCP transport on epoll event-loop lanes.
 //
-// COP's pillars use private lanes, so a 4-replica / 3-pillar cluster runs
-// 3 independent TCP connections per replica pair per direction — the
-// multi-connection setup of paper §4.2.3. Frames are length-prefixed; a
-// small hello header identifies (sender, lane) after connect.
+// Replica-to-replica traffic keeps one dialed socket per (peer, lane) and
+// direction — the multi-connection setup of paper §4.2.3 — while the
+// client-facing side multiplexes every accepted connection onto a small
+// set of lane threads (EventLoop) with batched reads, writev-coalesced
+// replies and admission control; see src/transport/event_loop.hpp and
+// docs/transport.md. Frames are length-prefixed; a small hello header
+// identifies (sender, lane) after connect. Replies to clients travel back
+// over the connection the client dialed (no dial-back, no client listen
+// port), which is what lets one replica serve tens of thousands of
+// clients within its fd budget.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
-#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/threading.hpp"
+#include "transport/event_loop.hpp"
 #include "transport/transport.hpp"
 
 namespace copbft::transport {
@@ -32,19 +40,39 @@ bool read_exact(int fd, void* buf, std::size_t len);
 /// Writes all `len` bytes to `fd` (MSG_NOSIGNAL), retrying on EINTR.
 bool write_all_fd(int fd, const Byte* data, std::size_t len);
 
+struct TcpOptions {
+  /// Event-loop lane threads; connections are multiplexed over them by
+  /// lane % lane_threads. Replicas typically run one per pillar (NP).
+  std::uint32_t lane_threads = 2;
+  /// Frame bound for replica peers (state-transfer chunks are large).
+  std::uint32_t max_frame_replica = 64u << 20;
+  /// Frame bound for client peers (requests are small; a hostile client
+  /// must not make the replica allocate big buffers).
+  std::uint32_t max_frame_client = 1u << 20;
+  /// Per-connection outbound budgets; past them frames are dropped (the
+  /// egress side of admission control — a slow peer sheds, never blocks).
+  std::size_t conn_out_frames = 1 << 16;
+  std::size_t conn_out_bytes = 128u << 20;
+  /// Nodes at or above this id are clients: sheddable admission, client
+  /// frame bound, reply routing over their accepted connection. Matches
+  /// protocol::kClientIdBase without a protocol-layer dependency.
+  crypto::KeyNodeId client_node_floor = 1000;
+  EventLoopOptions loop;
+};
+
 class TcpTransport final : public Transport {
  public:
   /// `self` is this node's id; `listen_port` may be 0 for client nodes
   /// that only initiate connections; `peers` maps node ids to addresses.
   TcpTransport(crypto::KeyNodeId self, std::uint16_t listen_port,
-               std::map<crypto::KeyNodeId, TcpPeer> peers);
+               std::map<crypto::KeyNodeId, TcpPeer> peers,
+               TcpOptions options = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  /// Binds and starts the accept loop (no-op for pure-client nodes).
-  /// Returns false if the listen socket could not be created.
+  /// Binds the listener (if any) and starts the event-loop lane threads.
   bool start();
 
   /// Tunes the bounded connect retry (see connect_with_retry). Call before
@@ -58,47 +86,66 @@ class TcpTransport final : public Transport {
   bool send(crypto::KeyNodeId to, LaneId lane, Bytes frame) override;
   void shutdown() override;
 
+  /// A lightweight multiplexed client: a Transport facade that shares
+  /// this transport's sockets-and-loops machinery but dials with its own
+  /// node identity and receives on its own sink. Thousands of endpoints
+  /// ride on one TcpTransport's lane threads — the client side of
+  /// connection multiplexing (no per-client transport, no per-client
+  /// receive thread). The endpoint stays valid until its shutdown() or
+  /// the owning transport's.
+  std::shared_ptr<Transport> client_endpoint(crypto::KeyNodeId node);
+
  private:
-  /// One outgoing connection. `fd` is immutable after construction; the
-  /// mutex serializes writers so frames are never interleaved on the wire.
-  /// Per-lane traffic counters are bound at connect time (cold path) so
-  /// the per-frame accounting is a cached pointer, not a registry lookup.
-  struct OutConn {
-    OutConn(int fd, metrics::Counter& tx_frames, metrics::Counter& tx_bytes)
-        : fd(fd), tx_frames(tx_frames), tx_bytes(tx_bytes) {}
-    const int fd;
-    metrics::Counter& tx_frames;
-    metrics::Counter& tx_bytes;
-    Mutex write_mutex;
-  };
+  class Endpoint;
+  friend class Endpoint;
+
+  /// (local identity, remote node, lane) -> dialed connection.
+  using DialKey = std::tuple<crypto::KeyNodeId, crypto::KeyNodeId, LaneId>;
 
   int connect_to(const TcpPeer& peer);
   int connect_with_retry(const TcpPeer& peer);
-  static bool write_all(const OutConn& conn, const Byte* data,
-                        std::size_t len) COP_REQUIRES(conn.write_mutex);
-  void accept_loop(int listen_fd);
-  void recv_loop(int fd);
+  bool send_from(crypto::KeyNodeId from, crypto::KeyNodeId to, LaneId lane,
+                 Bytes frame);
+  std::shared_ptr<Conn> dial(crypto::KeyNodeId from, crypto::KeyNodeId to,
+                             LaneId lane);
   std::shared_ptr<FrameSink> sink_for(LaneId lane);
+  std::shared_ptr<FrameSink> sink_for_conn(const std::shared_ptr<Conn>& conn);
+  EventLoop* loop_for(LaneId lane) {
+    return loops_[lane % loops_.size()].get();
+  }
+  void drop_endpoint(crypto::KeyNodeId node);
+  void bind_conn_metrics(const std::shared_ptr<Conn>& conn, LaneId lane);
+
+  // EventLoop hooks (run on loop threads).
+  std::shared_ptr<Conn> on_accept(int fd);
+  EventLoop* on_hello(const std::shared_ptr<Conn>& conn);
+  void on_conn_closed(const std::shared_ptr<Conn>& conn);
 
   const crypto::KeyNodeId self_;
   const std::uint16_t listen_port_;
   const std::map<crypto::KeyNodeId, TcpPeer> peers_;
+  const TcpOptions options_;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
 
   Mutex mutex_;
   std::map<LaneId, std::shared_ptr<FrameSink>> sinks_ COP_GUARDED_BY(mutex_);
-  std::map<std::pair<crypto::KeyNodeId, LaneId>, std::unique_ptr<OutConn>>
-      outgoing_ COP_GUARDED_BY(mutex_);
-  std::vector<std::jthread> recv_threads_ COP_GUARDED_BY(mutex_);
-  std::vector<int> accepted_fds_ COP_GUARDED_BY(mutex_);
-  int listen_fd_ COP_GUARDED_BY(mutex_) = -1;
+  std::map<DialKey, std::shared_ptr<Conn>> outgoing_ COP_GUARDED_BY(mutex_);
+  /// Client node -> its accepted connection (reply route; latest wins).
+  std::map<crypto::KeyNodeId, std::shared_ptr<Conn>> accepted_routes_
+      COP_GUARDED_BY(mutex_);
+  std::map<crypto::KeyNodeId, std::shared_ptr<Endpoint>> endpoints_
+      COP_GUARDED_BY(mutex_);
   bool stopping_ COP_GUARDED_BY(mutex_) = false;
-  std::jthread accept_thread_;
+  bool started_ COP_GUARDED_BY(mutex_) = false;
 
   // Connect retry schedule: up to `connect_attempts_` tries, exponential
   // backoff from `connect_base_delay_ms_` with ±25% jitter. Set before
   // start(); not guarded because they are configuration, not shared state.
   int connect_attempts_ = 5;
   std::uint32_t connect_base_delay_ms_ = 10;
+
+  metrics::Gauge& m_accepted_conns_;
 };
 
 }  // namespace copbft::transport

@@ -24,6 +24,13 @@ struct ReceivedFrame {
   Bytes bytes;
 };
 
+/// Outcome of a non-blocking delivery attempt (admission control).
+enum class Admit : std::uint8_t {
+  kAdmitted,  ///< the sink took the frame
+  kBusy,      ///< the sink is full right now; retry, queue or shed
+  kClosed,    ///< the sink shut down; the connection should close
+};
+
 /// Destination of received frames. Implementations are thread-safe;
 /// deliver() may block for backpressure and returns false once closed.
 class FrameSink {
@@ -31,6 +38,17 @@ class FrameSink {
   virtual ~FrameSink() = default;
   virtual bool deliver(ReceivedFrame frame) = 0;
   virtual void close() = 0;
+
+  /// Non-blocking admission used by event-driven transports: an event-loop
+  /// thread multiplexes thousands of connections and must never park on
+  /// one sink's backpressure. On kBusy/kClosed `frame` is left intact so
+  /// the caller can queue it with a deadline or shed it. The default
+  /// bridges sinks that predate admission control onto their blocking
+  /// deliver() — correct, but it can stall the calling loop, so the
+  /// high-fan-in sinks (Inbox, Pillar, StateTransferManager) override it.
+  virtual Admit try_deliver(ReceivedFrame& frame) {
+    return deliver(std::move(frame)) ? Admit::kAdmitted : Admit::kClosed;
+  }
 };
 
 /// FrameSink backed by a bounded queue; the default receiving end for
@@ -41,6 +59,10 @@ class Inbox final : public FrameSink {
 
   bool deliver(ReceivedFrame frame) override {
     return queue_.push(std::move(frame));
+  }
+  Admit try_deliver(ReceivedFrame& frame) override {
+    if (queue_.try_push_ref(frame)) return Admit::kAdmitted;
+    return queue_.closed() ? Admit::kClosed : Admit::kBusy;
   }
   void close() override { queue_.close(); }
 
